@@ -1,0 +1,83 @@
+//! # `fi-attest` — configuration discovery via remote attestation (paper §III-B)
+//!
+//! "We consider the use of remote attestation to discover the configuration
+//! of a replica. The three main components of a replica … can be attested by
+//! using remote attestation through trusted computing."
+//!
+//! This crate simulates the trusted-computing stack end to end:
+//!
+//! * [`device`] — a [`TrustedDevice`] (TPM 2.0, SGX, TrustZone, PSP, SSC)
+//!   with an endorsement key and derived attestation identity keys (AIKs);
+//! * [`quote`] — a [`Quote`] over a configuration measurement, carrying a
+//!   nonce (freshness), a timestamp, and — per the paper's **Remark 3** —
+//!   the replica's *vote key*, so a vote can be proven to originate from a
+//!   replica with the attested configuration;
+//! * [`verifier`] — an [`AttestationPolicy`] (accepted measurements,
+//!   allowed device kinds, maximum quote age, AIK revocation) and the
+//!   [`Verifier`] that checks quotes against it and a set of trusted
+//!   endorsement roots;
+//! * [`commitment`] — salted configuration commitments for the privacy
+//!   concern of Remark 3 ("the privacy of replica configuration should also
+//!   be protected, as otherwise it provides attackers a clear target");
+//! * [`registry`] — the [`AttestedRegistry`]: verified quotes per replica,
+//!   the two-tier weighting of the paper's conclusion ("having two types of
+//!   replicas, one supporting configuration attestation and one does not,
+//!   will help to improve blockchain resilience"), and power-weighted
+//!   configuration distributions derived from attested data only.
+//!
+//! The devices here are *simulated* (DESIGN.md §3): the paper uses
+//! attestation purely as an unforgeable configuration oracle, which the
+//! keyed-digest quotes provide within the simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use fi_attest::prelude::*;
+//! use fi_types::{KeyPair, SimTime};
+//!
+//! // A replica with an SGX device attests its configuration measurement.
+//! let device = TrustedDevice::new(DeviceKind::IntelSgx, 7);
+//! let aik = device.create_aik("aik-0");
+//! let vote_key = KeyPair::from_seed(99);
+//! let measurement = fi_types::sha256(b"my-config");
+//! let quote = aik.quote(measurement, 1234, vote_key.public_key(), SimTime::from_secs(5));
+//!
+//! // The verifier trusts the device vendor and the measurement.
+//! let policy = AttestationPolicy::builder()
+//!     .accept_measurement(measurement)
+//!     .allow_device(DeviceKind::IntelSgx)
+//!     .max_age(SimTime::from_secs(60))
+//!     .build();
+//! let mut verifier = Verifier::new(policy);
+//! verifier.trust_endorsement(device.endorsement_key());
+//! assert!(verifier
+//!     .verify(&quote, SimTime::from_secs(10), Some(1234))
+//!     .is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commitment;
+pub mod device;
+pub mod error;
+pub mod quote;
+pub mod registry;
+pub mod verifier;
+
+pub use commitment::ConfigCommitment;
+pub use device::{AttestationKey, DeviceKind, TrustedDevice};
+pub use error::AttestError;
+pub use quote::Quote;
+pub use registry::{AttestedRegistry, ReplicaTier, TwoTierWeights};
+pub use verifier::{AttestationPolicy, Verifier};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::commitment::ConfigCommitment;
+    pub use crate::device::{AttestationKey, DeviceKind, TrustedDevice};
+    pub use crate::error::AttestError;
+    pub use crate::quote::Quote;
+    pub use crate::registry::{AttestedRegistry, ReplicaTier, TwoTierWeights};
+    pub use crate::verifier::{AttestationPolicy, Verifier};
+}

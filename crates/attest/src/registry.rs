@@ -1,0 +1,494 @@
+//! The attested-replica registry and the two-tier weighting of the paper's
+//! conclusion (§V).
+//!
+//! "We do not expect every replica to equip with a trusted hardware for
+//! configuration attestation. However, having two types of replicas
+//! (potentially with different voting right/weight), one supporting
+//! configuration attestation and one does not, will help to improve
+//! blockchain resilience."
+
+use std::collections::HashMap;
+
+use fi_entropy::Distribution;
+use fi_types::{Digest, PublicKey, ReplicaId, SimTime, VotingPower};
+use serde::{Deserialize, Serialize};
+
+use crate::error::AttestError;
+use crate::quote::Quote;
+use crate::verifier::Verifier;
+
+/// Whether a replica's configuration is attested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaTier {
+    /// Configuration proven by a verified quote.
+    Attested,
+    /// No attestation; configuration unknown.
+    Unattested,
+}
+
+/// Voting-weight multipliers per tier.
+///
+/// # Example
+///
+/// ```
+/// use fi_attest::TwoTierWeights;
+/// let w = TwoTierWeights::new(1.0, 0.5);
+/// assert_eq!(w.attested(), 1.0);
+/// assert_eq!(w.unattested(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoTierWeights {
+    attested: f64,
+    unattested: f64,
+}
+
+impl TwoTierWeights {
+    /// Creates a weighting. Weights must be finite and non-negative;
+    /// attested replicas conventionally weigh 1.0 and unattested less.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite weights.
+    #[must_use]
+    pub fn new(attested: f64, unattested: f64) -> Self {
+        assert!(
+            attested.is_finite() && attested >= 0.0,
+            "attested weight must be finite and non-negative"
+        );
+        assert!(
+            unattested.is_finite() && unattested >= 0.0,
+            "unattested weight must be finite and non-negative"
+        );
+        TwoTierWeights {
+            attested,
+            unattested,
+        }
+    }
+
+    /// Equal weights — attestation carries no voting advantage.
+    #[must_use]
+    pub fn flat() -> Self {
+        TwoTierWeights::new(1.0, 1.0)
+    }
+
+    /// The attested-tier multiplier.
+    #[must_use]
+    pub fn attested(&self) -> f64 {
+        self.attested
+    }
+
+    /// The unattested-tier multiplier.
+    #[must_use]
+    pub fn unattested(&self) -> f64 {
+        self.unattested
+    }
+
+    /// The multiplier for a tier.
+    #[must_use]
+    pub fn for_tier(&self, tier: ReplicaTier) -> f64 {
+        match tier {
+            ReplicaTier::Attested => self.attested,
+            ReplicaTier::Unattested => self.unattested,
+        }
+    }
+}
+
+impl Default for TwoTierWeights {
+    /// The paper-suggested shape: attested replicas at full weight,
+    /// unattested at half.
+    fn default() -> Self {
+        TwoTierWeights::new(1.0, 0.5)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RegistryEntry {
+    tier: ReplicaTier,
+    measurement: Option<Digest>,
+    vote_key: Option<PublicKey>,
+    power: VotingPower,
+}
+
+/// The registry of replicas known to the diversity monitor: attested
+/// replicas with their verified measurements and bound vote keys, plus
+/// unattested replicas contributing raw power only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestedRegistry {
+    entries: HashMap<ReplicaId, RegistryEntry>,
+    weights: TwoTierWeights,
+}
+
+impl AttestedRegistry {
+    /// Creates an empty registry with the given tier weights.
+    #[must_use]
+    pub fn new(weights: TwoTierWeights) -> Self {
+        AttestedRegistry {
+            entries: HashMap::new(),
+            weights,
+        }
+    }
+
+    /// The tier weights in force.
+    #[must_use]
+    pub fn weights(&self) -> TwoTierWeights {
+        self.weights
+    }
+
+    /// Registers an attested replica from a quote, verifying it first.
+    /// Re-registration overwrites (a replica may re-attest after
+    /// reconfiguration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures from [`Verifier::verify`].
+    pub fn register_attested(
+        &mut self,
+        replica: ReplicaId,
+        quote: &Quote,
+        verifier: &Verifier,
+        now: SimTime,
+        expected_nonce: Option<u64>,
+        power: VotingPower,
+    ) -> Result<(), AttestError> {
+        verifier.verify(quote, now, expected_nonce)?;
+        self.entries.insert(
+            replica,
+            RegistryEntry {
+                tier: ReplicaTier::Attested,
+                measurement: Some(quote.measurement()),
+                vote_key: Some(quote.vote_key()),
+                power,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers an unattested replica (power only; configuration opaque).
+    pub fn register_unattested(&mut self, replica: ReplicaId, power: VotingPower) {
+        self.entries.insert(
+            replica,
+            RegistryEntry {
+                tier: ReplicaTier::Unattested,
+                measurement: None,
+                vote_key: None,
+                power,
+            },
+        );
+    }
+
+    /// Number of registered replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tier of `replica`, if registered.
+    #[must_use]
+    pub fn tier_of(&self, replica: ReplicaId) -> Option<ReplicaTier> {
+        self.entries.get(&replica).map(|e| e.tier)
+    }
+
+    /// The attested measurement of `replica`, if any.
+    #[must_use]
+    pub fn measurement_of(&self, replica: ReplicaId) -> Option<Digest> {
+        self.entries.get(&replica).and_then(|e| e.measurement)
+    }
+
+    /// Checks a vote key against the attested binding (Remark 3): `true`
+    /// iff the replica attested and bound exactly this key.
+    #[must_use]
+    pub fn vote_key_bound(&self, replica: ReplicaId, vote_key: &PublicKey) -> bool {
+        self.entries
+            .get(&replica)
+            .and_then(|e| e.vote_key.as_ref())
+            .is_some_and(|k| k == vote_key)
+    }
+
+    /// The replica's raw registered power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::UnknownReplica`] if not registered.
+    pub fn power_of(&self, replica: ReplicaId) -> Result<VotingPower, AttestError> {
+        self.entries
+            .get(&replica)
+            .map(|e| e.power)
+            .ok_or(AttestError::UnknownReplica)
+    }
+
+    /// The replica's *effective* power: raw power scaled by its tier
+    /// weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::UnknownReplica`] if not registered.
+    pub fn effective_power_of(&self, replica: ReplicaId) -> Result<VotingPower, AttestError> {
+        let e = self
+            .entries
+            .get(&replica)
+            .ok_or(AttestError::UnknownReplica)?;
+        Ok(e.power.scaled(self.weights.for_tier(e.tier)))
+    }
+
+    /// Total effective power across the registry.
+    #[must_use]
+    pub fn total_effective_power(&self) -> VotingPower {
+        self.entries
+            .values()
+            .map(|e| e.power.scaled(self.weights.for_tier(e.tier)))
+            .sum()
+    }
+
+    /// Effective power per distinct attested measurement, plus (optionally)
+    /// one opaque bucket holding all unattested power. Deterministic order:
+    /// measurements sorted, opaque bucket last.
+    #[must_use]
+    pub fn measurement_powers(&self, include_unattested_bucket: bool) -> Vec<(Option<Digest>, VotingPower)> {
+        let mut per_measurement: HashMap<Digest, VotingPower> = HashMap::new();
+        let mut opaque = VotingPower::ZERO;
+        for e in self.entries.values() {
+            let effective = e.power.scaled(self.weights.for_tier(e.tier));
+            match e.measurement {
+                Some(m) => {
+                    *per_measurement.entry(m).or_insert(VotingPower::ZERO) += effective;
+                }
+                None => opaque += effective,
+            }
+        }
+        let mut rows: Vec<(Option<Digest>, VotingPower)> = per_measurement
+            .into_iter()
+            .map(|(m, p)| (Some(m), p))
+            .collect();
+        rows.sort_by_key(|(m, _)| *m);
+        if include_unattested_bucket && !opaque.is_zero() {
+            rows.push((None, opaque));
+        }
+        rows
+    }
+
+    /// The effective-power configuration distribution over attested
+    /// measurements. With `include_unattested_bucket`, all unattested power
+    /// forms one extra outcome — the pessimistic reading where every
+    /// unattested replica might share a single configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`fi_entropy::DistributionError`] via `AttestError`-free
+    /// path if there is no power to distribute.
+    pub fn distribution(
+        &self,
+        include_unattested_bucket: bool,
+    ) -> Result<Distribution, fi_entropy::DistributionError> {
+        let units: Vec<u64> = self
+            .measurement_powers(include_unattested_bucket)
+            .iter()
+            .map(|(_, p)| p.as_units())
+            .collect();
+        Distribution::from_counts(&units)
+    }
+
+    /// Shannon entropy (bits) of the attested configuration distribution.
+    ///
+    /// # Errors
+    ///
+    /// As [`distribution`](Self::distribution).
+    pub fn entropy_bits(
+        &self,
+        include_unattested_bucket: bool,
+    ) -> Result<f64, fi_entropy::DistributionError> {
+        Ok(self.distribution(include_unattested_bucket)?.shannon_entropy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, TrustedDevice};
+    use crate::verifier::AttestationPolicy;
+    use fi_types::{sha256, KeyPair};
+
+    fn verified_quote(seed: u64, measurement: &[u8]) -> (Quote, Verifier) {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, seed);
+        let aik = device.create_aik("a");
+        let quote = aik.quote(
+            sha256(measurement),
+            0,
+            KeyPair::from_seed(seed).public_key(),
+            SimTime::ZERO,
+        );
+        let mut verifier = Verifier::new(AttestationPolicy::discovery());
+        verifier.trust_endorsement(device.endorsement_key());
+        (quote, verifier)
+    }
+
+    #[test]
+    fn register_and_query_attested() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::default());
+        let (quote, verifier) = verified_quote(1, b"cfg-a");
+        reg.register_attested(
+            ReplicaId::new(0),
+            &quote,
+            &verifier,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(100),
+        )
+        .unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.tier_of(ReplicaId::new(0)), Some(ReplicaTier::Attested));
+        assert_eq!(reg.measurement_of(ReplicaId::new(0)), Some(sha256(b"cfg-a")));
+        assert!(reg.vote_key_bound(ReplicaId::new(0), &quote.vote_key()));
+        assert_eq!(
+            reg.effective_power_of(ReplicaId::new(0)).unwrap(),
+            VotingPower::new(100)
+        );
+    }
+
+    #[test]
+    fn rejects_unverifiable_quote() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::default());
+        let (quote, _) = verified_quote(1, b"cfg-a");
+        // A verifier with no trust roots rejects everything.
+        let empty_verifier = Verifier::new(AttestationPolicy::discovery());
+        let err = reg
+            .register_attested(
+                ReplicaId::new(0),
+                &quote,
+                &empty_verifier,
+                SimTime::ZERO,
+                None,
+                VotingPower::new(100),
+            )
+            .unwrap_err();
+        assert_eq!(err, AttestError::UntrustedEndorsement);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn unattested_weighting_discounts_power() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        reg.register_unattested(ReplicaId::new(7), VotingPower::new(100));
+        assert_eq!(reg.tier_of(ReplicaId::new(7)), Some(ReplicaTier::Unattested));
+        assert_eq!(
+            reg.effective_power_of(ReplicaId::new(7)).unwrap(),
+            VotingPower::new(50)
+        );
+        assert_eq!(reg.total_effective_power(), VotingPower::new(50));
+    }
+
+    #[test]
+    fn unknown_replica_errors() {
+        let reg = AttestedRegistry::new(TwoTierWeights::flat());
+        assert_eq!(
+            reg.power_of(ReplicaId::new(0)),
+            Err(AttestError::UnknownReplica)
+        );
+        assert_eq!(
+            reg.effective_power_of(ReplicaId::new(0)),
+            Err(AttestError::UnknownReplica)
+        );
+        assert_eq!(reg.tier_of(ReplicaId::new(0)), None);
+        assert!(!reg.vote_key_bound(ReplicaId::new(0), &KeyPair::from_seed(0).public_key()));
+    }
+
+    #[test]
+    fn distribution_groups_by_measurement() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        for (i, m) in [b"cfg-a" as &[u8], b"cfg-a", b"cfg-b"].iter().enumerate() {
+            let (quote, verifier) = verified_quote(i as u64 + 10, m);
+            reg.register_attested(
+                ReplicaId::new(i as u64),
+                &quote,
+                &verifier,
+                SimTime::ZERO,
+                None,
+                VotingPower::new(10),
+            )
+            .unwrap();
+        }
+        let d = reg.distribution(false).unwrap();
+        assert_eq!(d.dimension(), 2);
+        let mut probs = d.probabilities().to_vec();
+        probs.sort_by(f64::total_cmp);
+        assert!((probs[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((probs[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unattested_bucket_appears_when_requested() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        let (quote, verifier) = verified_quote(1, b"cfg-a");
+        reg.register_attested(
+            ReplicaId::new(0),
+            &quote,
+            &verifier,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(50),
+        )
+        .unwrap();
+        reg.register_unattested(ReplicaId::new(1), VotingPower::new(50));
+        assert_eq!(reg.distribution(false).unwrap().dimension(), 1);
+        let with_bucket = reg.distribution(true).unwrap();
+        assert_eq!(with_bucket.dimension(), 2);
+        assert!((with_bucket.probabilities()[1] - 0.5).abs() < 1e-12);
+        // Entropy rises when the opaque bucket is accounted for.
+        assert!(reg.entropy_bits(true).unwrap() > reg.entropy_bits(false).unwrap());
+    }
+
+    #[test]
+    fn two_tier_weights_shift_distribution_toward_attested() {
+        let build = |weights| {
+            let mut reg = AttestedRegistry::new(weights);
+            let (quote, verifier) = verified_quote(1, b"cfg-a");
+            reg.register_attested(
+                ReplicaId::new(0),
+                &quote,
+                &verifier,
+                SimTime::ZERO,
+                None,
+                VotingPower::new(100),
+            )
+            .unwrap();
+            reg.register_unattested(ReplicaId::new(1), VotingPower::new(100));
+            reg
+        };
+        let flat = build(TwoTierWeights::flat());
+        let tiered = build(TwoTierWeights::new(1.0, 0.25));
+        let flat_d = flat.distribution(true).unwrap();
+        let tiered_d = tiered.distribution(true).unwrap();
+        assert!((flat_d.probabilities()[0] - 0.5).abs() < 1e-12);
+        assert!((tiered_d.probabilities()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reregistration_overwrites() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        reg.register_unattested(ReplicaId::new(0), VotingPower::new(10));
+        let (quote, verifier) = verified_quote(1, b"cfg-a");
+        reg.register_attested(
+            ReplicaId::new(0),
+            &quote,
+            &verifier,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(20),
+        )
+        .unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.tier_of(ReplicaId::new(0)), Some(ReplicaTier::Attested));
+        assert_eq!(reg.power_of(ReplicaId::new(0)).unwrap(), VotingPower::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weights_reject_negative() {
+        let _ = TwoTierWeights::new(-1.0, 0.5);
+    }
+}

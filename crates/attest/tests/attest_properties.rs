@@ -1,0 +1,140 @@
+//! Property-based tests for attestation: quote tamper-evidence across all
+//! fields, commitment binding/hiding, and registry accounting.
+
+use fi_attest::prelude::*;
+use fi_types::{sha256, KeyPair, ReplicaId, SimTime, VotingPower};
+use proptest::prelude::*;
+
+fn any_device_kind() -> impl Strategy<Value = DeviceKind> {
+    prop_oneof![
+        Just(DeviceKind::Tpm20),
+        Just(DeviceKind::IntelSgx),
+        Just(DeviceKind::ArmTrustZone),
+        Just(DeviceKind::AmdPsp),
+        Just(DeviceKind::IbmSsc),
+    ]
+}
+
+proptest! {
+    /// A freshly produced quote always passes signature checks, for any
+    /// device kind, seed, nonce, timestamp, and payload.
+    #[test]
+    fn honest_quotes_verify(
+        kind in any_device_kind(),
+        device_seed in 0u64..10_000,
+        vote_seed in 0u64..10_000,
+        nonce in any::<u64>(),
+        at_us in 0u64..1_000_000_000,
+        payload in any::<[u8; 24]>(),
+    ) {
+        let device = TrustedDevice::new(kind, device_seed);
+        let aik = device.create_aik("prop");
+        let quote = aik.quote(
+            sha256(payload),
+            nonce,
+            KeyPair::from_seed(vote_seed).public_key(),
+            SimTime::from_micros(at_us),
+        );
+        prop_assert!(quote.signatures_valid());
+
+        let mut verifier = Verifier::new(AttestationPolicy::discovery());
+        verifier.trust_endorsement(device.endorsement_key());
+        prop_assert!(verifier
+            .verify(&quote, SimTime::from_micros(at_us), Some(nonce))
+            .is_ok());
+    }
+
+    /// Any measurement substitution is detected.
+    #[test]
+    fn tampered_measurement_detected(
+        payload in any::<[u8; 24]>(),
+        tamper in any::<[u8; 24]>(),
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(payload != tamper);
+        let device = TrustedDevice::new(DeviceKind::Tpm20, seed);
+        let aik = device.create_aik("prop");
+        let quote = aik.quote(
+            sha256(payload),
+            0,
+            KeyPair::from_seed(seed).public_key(),
+            SimTime::ZERO,
+        );
+        let tampered = quote.with_measurement(sha256(tamper));
+        prop_assert!(!tampered.signatures_valid());
+    }
+
+    /// Commitments bind (different openings rejected) and hide (different
+    /// salts give different digests).
+    #[test]
+    fn commitment_binding_and_hiding(
+        m1 in any::<[u8; 16]>(),
+        m2 in any::<[u8; 16]>(),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let c = ConfigCommitment::commit(sha256(m1), s1);
+        prop_assert!(c.open(sha256(m1), s1).is_ok());
+        if m1 != m2 {
+            prop_assert!(c.open(sha256(m2), s1).is_err());
+        }
+        if s1 != s2 {
+            prop_assert!(c.open(sha256(m1), s2).is_err());
+            prop_assert_ne!(
+                c.digest(),
+                ConfigCommitment::commit(sha256(m1), s2).digest()
+            );
+        }
+    }
+
+    /// Registry accounting: total effective power equals the sum of
+    /// per-replica effective powers, for arbitrary tier mixes and weights.
+    #[test]
+    fn registry_power_accounting(
+        powers in proptest::collection::vec(1u64..10_000, 1..20),
+        attested_mask in proptest::collection::vec(any::<bool>(), 20),
+        unattested_weight_pct in 0u32..=100,
+    ) {
+        let weights = TwoTierWeights::new(1.0, f64::from(unattested_weight_pct) / 100.0);
+        let mut registry = AttestedRegistry::new(weights);
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut verifier = Verifier::new(AttestationPolicy::discovery());
+        verifier.trust_endorsement(device.endorsement_key());
+
+        for (i, &power) in powers.iter().enumerate() {
+            let replica = ReplicaId::new(i as u64);
+            if attested_mask[i] {
+                let aik = device.create_aik(&format!("aik-{i}"));
+                let quote = aik.quote(
+                    sha256(format!("cfg-{}", i % 3).as_bytes()),
+                    0,
+                    KeyPair::from_seed(i as u64).public_key(),
+                    SimTime::ZERO,
+                );
+                registry
+                    .register_attested(
+                        replica,
+                        &quote,
+                        &verifier,
+                        SimTime::ZERO,
+                        Some(0),
+                        VotingPower::new(power),
+                    )
+                    .unwrap();
+            } else {
+                registry.register_unattested(replica, VotingPower::new(power));
+            }
+        }
+        let per_replica: VotingPower = (0..powers.len())
+            .map(|i| registry.effective_power_of(ReplicaId::new(i as u64)).unwrap())
+            .sum();
+        prop_assert_eq!(per_replica, registry.total_effective_power());
+        prop_assert_eq!(registry.len(), powers.len());
+        // The distribution, when defined, uses exactly the effective power.
+        if !registry.total_effective_power().is_zero() {
+            let rows = registry.measurement_powers(true);
+            let row_total: VotingPower = rows.iter().map(|&(_, p)| p).sum();
+            prop_assert_eq!(row_total, registry.total_effective_power());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Attestation-path cost: quote generation, verification, registry
+//! ingestion — the per-replica overhead of configuration discovery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fi_attest::prelude::*;
+use fi_types::{sha256, KeyPair, ReplicaId, SimTime, VotingPower};
+
+fn bench_attestation(c: &mut Criterion) {
+    let device = TrustedDevice::new(DeviceKind::Tpm20, 1);
+    let aik = device.create_aik("bench");
+    let vote = KeyPair::from_seed(9).public_key();
+    let measurement = sha256(b"bench-config");
+
+    c.bench_function("attest/quote", |b| {
+        b.iter(|| {
+            aik.quote(
+                black_box(measurement),
+                black_box(7),
+                vote,
+                SimTime::from_secs(1),
+            )
+        });
+    });
+
+    let quote = aik.quote(measurement, 7, vote, SimTime::from_secs(1));
+    let mut verifier = Verifier::new(AttestationPolicy::discovery());
+    verifier.trust_endorsement(device.endorsement_key());
+    c.bench_function("attest/verify", |b| {
+        b.iter(|| {
+            verifier
+                .verify(black_box(&quote), SimTime::from_secs(2), Some(7))
+                .unwrap()
+        });
+    });
+
+    c.bench_function("attest/registry_ingest_100", |b| {
+        b.iter(|| {
+            let mut reg = AttestedRegistry::new(TwoTierWeights::default());
+            for i in 0..100u64 {
+                reg.register_attested(
+                    ReplicaId::new(i),
+                    &quote,
+                    &verifier,
+                    SimTime::from_secs(2),
+                    Some(7),
+                    VotingPower::new(10),
+                )
+                .unwrap();
+            }
+            black_box(reg.entropy_bits(false).unwrap())
+        });
+    });
+
+    c.bench_function("attest/commitment_roundtrip", |b| {
+        b.iter(|| {
+            let c = ConfigCommitment::commit(black_box(measurement), 42);
+            c.open(measurement, 42).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

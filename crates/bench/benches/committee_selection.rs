@@ -1,0 +1,57 @@
+//! Committee-selection cost per policy: the per-epoch overhead a
+//! permissionless chain pays for diversity enforcement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_attest::TwoTierWeights;
+use fi_committee::prelude::*;
+use fi_types::{ReplicaId, VotingPower};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pool(n: u64) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            Candidate::new(
+                ReplicaId::new(i),
+                VotingPower::new(10_000 / (i + 1) + 1),
+                (i % 16) as usize,
+                i % 3 != 0,
+            )
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("committee_selection");
+    for &n in &[100u64, 1_000] {
+        let candidates = pool(n);
+        let k = 32;
+        group.bench_with_input(BenchmarkId::new("top_stake", n), &candidates, |b, cs| {
+            b.iter(|| top_stake(black_box(cs), k));
+        });
+        group.bench_with_input(BenchmarkId::new("sortition", n), &candidates, |b, cs| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                random_weighted(black_box(cs), k, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seat_cap", n), &candidates, |b, cs| {
+            b.iter(|| proportional_cap(black_box(cs), k, 0.25));
+        });
+        group.bench_with_input(BenchmarkId::new("two_tier", n), &candidates, |b, cs| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                two_tier_weighted(black_box(cs), k, TwoTierWeights::default(), &mut rng)
+            });
+        });
+    }
+    // Greedy is O(k * n * committee-eval); bench it at the smaller size only.
+    let candidates = pool(100);
+    group.bench_function("greedy_diverse/100", |b| {
+        b.iter(|| greedy_diverse(black_box(&candidates), 32));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

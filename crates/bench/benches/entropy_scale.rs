@@ -1,0 +1,36 @@
+//! Diversity-metric cost at scale: a monitor must re-evaluate entropy on
+//! every membership change; this measures that cost up to 100k
+//! configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_entropy::optimal::KappaOptimality;
+use fi_entropy::renyi::renyi_entropy_bits;
+use fi_entropy::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn skewed_distribution(k: usize, seed: u64) -> Distribution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.01..10.0)).collect();
+    Distribution::from_weights(&weights).unwrap()
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_scale");
+    for &k in &[100usize, 1_000, 10_000, 100_000] {
+        let dist = skewed_distribution(k, 7);
+        group.bench_with_input(BenchmarkId::new("shannon", k), &dist, |b, d| {
+            b.iter(|| black_box(d.shannon_entropy()));
+        });
+        group.bench_with_input(BenchmarkId::new("renyi2", k), &dist, |b, d| {
+            b.iter(|| renyi_entropy_bits(black_box(d), 2.0).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("kappa_check", k), &dist, |b, d| {
+            b.iter(|| KappaOptimality::check(black_box(d), 1e-9));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy);
+criterion_main!(benches);

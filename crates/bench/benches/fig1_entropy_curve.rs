@@ -1,0 +1,23 @@
+//! E1 cost: generating the Figure-1 curve and evaluating single points.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_entropy::bitcoin;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    for &max_x in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("curve", max_x), &max_x, |b, &max_x| {
+            b.iter(|| bitcoin::figure1_curve(black_box(max_x)).unwrap());
+        });
+    }
+    group.bench_function("single_point_x1000", |b| {
+        b.iter(|| {
+            let d = bitcoin::figure1_distribution(black_box(1000)).unwrap();
+            black_box(d.shannon_entropy())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

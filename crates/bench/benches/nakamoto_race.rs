@@ -1,0 +1,40 @@
+//! Nakamoto-side costs: double-spend analytics, Monte-Carlo races, and the
+//! chain simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_nakamoto::attack::{double_spend_success_probability, monte_carlo_double_spend};
+use fi_nakamoto::pool::bitcoin_pools_2023;
+use fi_nakamoto::sim::{run_honest_race, MiningSimConfig};
+use fi_types::{SimTime, VotingPower};
+
+fn bench_nakamoto(c: &mut Criterion) {
+    c.bench_function("nakamoto/analytic_double_spend_z6", |b| {
+        b.iter(|| double_spend_success_probability(black_box(0.3), black_box(6)));
+    });
+
+    let mut group = c.benchmark_group("nakamoto");
+    group.sample_size(10);
+    group.bench_function("monte_carlo_10k_trials", |b| {
+        b.iter(|| monte_carlo_double_spend(black_box(0.3), 6, 10_000, 42));
+    });
+
+    let powers: Vec<VotingPower> = bitcoin_pools_2023().iter().map(|p| p.power()).collect();
+    for &blocks in &[1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("race_17_pools", blocks),
+            &blocks,
+            |b, &blocks| {
+                let config = MiningSimConfig {
+                    block_interval: SimTime::from_secs(600),
+                    propagation_delay: SimTime::from_secs(5),
+                    blocks,
+                };
+                b.iter(|| run_honest_race(black_box(&powers), config, 42));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nakamoto);
+criterion_main!(benches);

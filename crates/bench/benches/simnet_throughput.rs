@@ -1,0 +1,50 @@
+//! Simulator event throughput — the budget every consensus experiment
+//! spends from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_simnet::{Context, LatencyModel, NetworkConfig, Node, NodeId, Simulation};
+use fi_types::SimTime;
+
+/// A node that keeps `fanout` messages in flight forever.
+struct Flooder {
+    fanout: usize,
+}
+
+impl Node for Flooder {
+    type Message = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        for i in 0..self.fanout {
+            let to = NodeId::new((ctx.id().index() + 1 + i) % ctx.node_count());
+            ctx.send(to, 0);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+        ctx.send(from, msg + 1);
+    }
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(10);
+    for &events in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("events", events), &events, |b, &events| {
+            b.iter(|| {
+                let config = NetworkConfig::with_latency(LatencyModel::Uniform {
+                    min: SimTime::from_micros(100),
+                    max: SimTime::from_millis(2),
+                });
+                let mut sim: Simulation<Flooder> = Simulation::new(config, 42);
+                for _ in 0..16 {
+                    sim.add_node(Flooder { fanout: 4 });
+                }
+                sim.run_to_quiescence(events)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simnet);
+criterion_main!(benches);

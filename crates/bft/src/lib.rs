@@ -1,0 +1,60 @@
+//! # `fi-bft` — PBFT-style state machine replication under correlated faults
+//!
+//! A complete three-phase BFT-SMR implementation (pre-prepare / prepare /
+//! commit, checkpoints, view changes) running on the deterministic
+//! `fi-simnet` simulator. Its purpose in this workspace is to check the
+//! paper's safety condition `f ≥ Σ_i f^i_t` (§II-C) *operationally*: the
+//! fault-injection harness compromises exactly the replicas sharing a
+//! vulnerable component (via `fi-config`'s correlated-fault closure) and the
+//! safety checker then inspects the execution histories of honest replicas
+//! for divergence.
+//!
+//! ## Protocol summary
+//!
+//! * `n = 3f + 1` replicas; the primary of view `v` is replica `v mod n`.
+//! * Clients broadcast requests to all replicas; the primary assigns a
+//!   sequence number and broadcasts `PrePrepare`; replicas broadcast
+//!   `Prepare`; with a pre-prepare and `2f` matching prepares a request is
+//!   *prepared* and the replica broadcasts `Commit`; with `2f + 1` matching
+//!   commits it is *committed* and executed in sequence order.
+//! * Replicas checkpoint every `checkpoint_interval` sequences; `2f + 1`
+//!   matching checkpoints make it stable and truncate the log.
+//! * A replica that has seen a request pending longer than the view-change
+//!   timeout broadcasts `ViewChange` for the next view, carrying its
+//!   prepared certificates; the new primary, on `2f + 1` view-changes,
+//!   broadcasts `NewView` re-issuing pre-prepares for every certified
+//!   sequence.
+//! * Byzantine behaviours ([`byzantine::Behavior`]): crash, going silent,
+//!   primary/backup equivocation, and commit-withholding. A compromise
+//!   arrives as a simulator fault event at an exact instant — the paper's
+//!   "one vulnerability flips every replica running the component".
+//!
+//! ## Example
+//!
+//! ```
+//! use fi_bft::harness::{ClusterConfig, run_cluster};
+//!
+//! let report = run_cluster(&ClusterConfig::new(4).requests(5), 42);
+//! assert!(report.safety.holds());
+//! assert_eq!(report.liveness.executed_requests, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod client;
+pub mod harness;
+pub mod message;
+pub mod quorum;
+pub mod replica;
+pub mod safety;
+pub mod weighted;
+
+pub use byzantine::Behavior;
+pub use harness::{run_cluster, ClusterConfig, ClusterReport};
+pub use message::BftMessage;
+pub use quorum::QuorumParams;
+pub use replica::Replica;
+pub use safety::{LivenessReport, SafetyReport};
+pub use weighted::{WeightedQuorum, WeightedVoteSet};

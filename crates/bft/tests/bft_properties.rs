@@ -1,0 +1,109 @@
+//! Property-based tests for the BFT stack: for any cluster size, fault
+//! placement within the certified bound, network jitter, and seed, the
+//! protocol must stay safe — and live whenever faults are within `f`.
+
+use fi_bft::harness::{run_cluster_with_faults, ClusterConfig, ScheduledFault};
+use fi_bft::{Behavior, QuorumParams};
+use fi_simnet::{LatencyModel, NetworkConfig};
+use fi_types::SimTime;
+use proptest::prelude::*;
+
+fn cluster_sizes() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(4usize), Just(5), Just(7), Just(10)]
+}
+
+fn behaviors() -> impl Strategy<Value = Behavior> {
+    prop_oneof![
+        Just(Behavior::Crashed),
+        Just(Behavior::Silent),
+        Just(Behavior::Equivocate),
+        Just(Behavior::WithholdCommit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With at most f faulty replicas of any behaviour, safety and
+    /// liveness both hold, across seeds and fault onset times.
+    #[test]
+    fn up_to_f_faults_are_harmless(
+        n in cluster_sizes(),
+        seed in 0u64..1_000,
+        behavior in behaviors(),
+        onset_ms in 0u64..50,
+        placement in 0usize..10,
+    ) {
+        let params = QuorumParams::for_n(n).unwrap();
+        let faults: Vec<ScheduledFault> = (0..params.f())
+            .map(|i| ScheduledFault {
+                at: SimTime::from_millis(onset_ms),
+                replica: (placement + i) % n,
+                behavior,
+            })
+            .collect();
+        let config = ClusterConfig::new(n)
+            .requests(4)
+            .max_time(SimTime::from_secs(25));
+        let report = run_cluster_with_faults(&config, seed, &faults);
+        prop_assert!(report.safety.holds(), "{report:?}");
+        prop_assert!(
+            report.liveness.all_executed(),
+            "liveness lost with {} {:?} faults on n={n}: {report:?}",
+            params.f(),
+            behavior
+        );
+    }
+
+    /// Safety holds under lossy, high-jitter networks with f crash faults
+    /// (messages may be dropped; clients retransmit).
+    #[test]
+    fn safety_under_lossy_network(
+        seed in 0u64..500,
+        drop_pct in 0u32..20,
+    ) {
+        let network = NetworkConfig::with_latency(LatencyModel::Exponential {
+            floor: SimTime::from_micros(200),
+            mean: SimTime::from_millis(5),
+        })
+        .drop_probability(f64::from(drop_pct) / 100.0);
+        let config = ClusterConfig::new(4)
+            .requests(3)
+            .network(network)
+            .max_time(SimTime::from_secs(30));
+        let faults = vec![ScheduledFault {
+            at: SimTime::from_millis(5),
+            replica: 3,
+            behavior: Behavior::Crashed,
+        }];
+        let report = run_cluster_with_faults(&config, seed, &faults);
+        prop_assert!(report.safety.holds(), "{report:?}");
+    }
+
+    /// Runs are bit-for-bit deterministic in the seed.
+    #[test]
+    fn determinism(n in cluster_sizes(), seed in 0u64..100) {
+        let config = ClusterConfig::new(n).requests(3).max_time(SimTime::from_secs(15));
+        let a = run_cluster_with_faults(&config, seed, &[]);
+        let b = run_cluster_with_faults(&config, seed, &[]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Quorum arithmetic invariants for all n.
+    #[test]
+    fn quorum_invariants(n in 4usize..200) {
+        let q = QuorumParams::for_n(n).unwrap();
+        // Tolerance never exceeds a third.
+        prop_assert!(3 * q.f() < n);
+        // Two quorums always intersect in at least one honest replica.
+        prop_assert!(q.quorum_intersection() > q.f());
+        // Weak quorum always contains an honest replica.
+        prop_assert!(q.weak_quorum() > q.f());
+        // Primary rotation covers all replicas.
+        let mut seen = vec![false; n];
+        for v in 0..n as u64 {
+            seen[q.primary_of(v)] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,145 @@
+//! Baseline selection policies: top-stake and stake-weighted sortition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::candidate::{Candidate, Committee};
+
+/// Selects the `k` highest-stake candidates (ties broken by replica id for
+/// determinism). This is what pure stake ordering — and delegation toward
+/// big operators — converges to: the paper's oligopoly.
+#[must_use]
+pub fn top_stake(candidates: &[Candidate], k: usize) -> Committee {
+    let mut sorted: Vec<Candidate> = candidates.to_vec();
+    sorted.sort_by(|a, b| {
+        b.power()
+            .cmp(&a.power())
+            .then_with(|| a.replica().cmp(&b.replica()))
+    });
+    sorted.truncate(k);
+    Committee::new(sorted)
+}
+
+/// Stake-weighted sortition without replacement: repeatedly samples a
+/// candidate with probability proportional to remaining stake. The
+/// classic "fair" permissionless lottery; diversity only as good as the
+/// stake distribution.
+#[must_use]
+pub fn random_weighted(candidates: &[Candidate], k: usize, rng: &mut StdRng) -> Committee {
+    let mut pool: Vec<Candidate> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !c.power().is_zero())
+        .collect();
+    let mut members = Vec::with_capacity(k.min(pool.len()));
+    while members.len() < k && !pool.is_empty() {
+        let total: u64 = pool.iter().map(|c| c.power().as_units()).sum();
+        let mut target = rng.gen_range(0..total);
+        let mut chosen = pool.len() - 1;
+        for (i, c) in pool.iter().enumerate() {
+            let units = c.power().as_units();
+            if target < units {
+                chosen = i;
+                break;
+            }
+            target -= units;
+        }
+        members.push(pool.swap_remove(chosen));
+    }
+    Committee::new(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_types::{ReplicaId, VotingPower};
+    use rand::SeedableRng;
+
+    fn skewed(n: u64) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(if i == 0 { 1_000 } else { 10 }),
+                    i as usize % 4,
+                    true,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn top_stake_takes_biggest() {
+        let committee = top_stake(&skewed(10), 3);
+        assert_eq!(committee.len(), 3);
+        assert_eq!(committee.members()[0].replica(), ReplicaId::new(0));
+        // Deterministic tie-break on the equal-stake tail.
+        assert_eq!(committee.members()[1].replica(), ReplicaId::new(1));
+        assert_eq!(committee.members()[2].replica(), ReplicaId::new(2));
+    }
+
+    #[test]
+    fn top_stake_with_k_exceeding_pool() {
+        let committee = top_stake(&skewed(3), 10);
+        assert_eq!(committee.len(), 3);
+    }
+
+    #[test]
+    fn random_weighted_is_deterministic_per_seed() {
+        let candidates = skewed(20);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(
+            random_weighted(&candidates, 5, &mut a),
+            random_weighted(&candidates, 5, &mut b)
+        );
+    }
+
+    #[test]
+    fn random_weighted_no_duplicates() {
+        let candidates = skewed(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let committee = random_weighted(&candidates, 10, &mut rng);
+        let mut ids: Vec<_> = committee.members().iter().map(|c| c.replica()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn random_weighted_favors_stake() {
+        // The whale (candidate 0) should be selected in nearly every draw.
+        let candidates = skewed(10);
+        let mut hits = 0;
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let committee = random_weighted(&candidates, 3, &mut rng);
+            if committee
+                .members()
+                .iter()
+                .any(|c| c.replica() == ReplicaId::new(0))
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits > 190, "whale selected only {hits}/200 times");
+    }
+
+    #[test]
+    fn random_weighted_skips_zero_power() {
+        let mut candidates = skewed(5);
+        candidates.push(Candidate::new(
+            ReplicaId::new(99),
+            VotingPower::ZERO,
+            0,
+            true,
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let committee = random_weighted(&candidates, 6, &mut rng);
+        assert!(committee
+            .members()
+            .iter()
+            .all(|c| c.replica() != ReplicaId::new(99)));
+        assert_eq!(committee.len(), 5);
+    }
+}

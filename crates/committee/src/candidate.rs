@@ -1,0 +1,217 @@
+//! Candidates and committees.
+
+use std::collections::HashMap;
+
+use fi_entropy::Distribution;
+use fi_types::{ReplicaId, VotingPower};
+use serde::{Deserialize, Serialize};
+
+/// A replica eligible for committee membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Candidate {
+    replica: ReplicaId,
+    power: VotingPower,
+    config: usize,
+    attested: bool,
+}
+
+impl Candidate {
+    /// Creates a candidate: its stake/power, its configuration index (from
+    /// attestation; unattested candidates carry their *claimed* index but
+    /// policies treat them as opaque), and whether that configuration is
+    /// attested.
+    #[must_use]
+    pub fn new(replica: ReplicaId, power: VotingPower, config: usize, attested: bool) -> Self {
+        Candidate {
+            replica,
+            power,
+            config,
+            attested,
+        }
+    }
+
+    /// The replica id.
+    #[must_use]
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// The candidate's voting power / stake.
+    #[must_use]
+    pub fn power(&self) -> VotingPower {
+        self.power
+    }
+
+    /// The configuration index.
+    #[must_use]
+    pub fn config(&self) -> usize {
+        self.config
+    }
+
+    /// Whether the configuration is attested.
+    #[must_use]
+    pub fn attested(&self) -> bool {
+        self.attested
+    }
+}
+
+/// A selected committee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Committee {
+    members: Vec<Candidate>,
+}
+
+impl Committee {
+    /// Wraps selected members (order preserved as selected).
+    #[must_use]
+    pub fn new(members: Vec<Candidate>) -> Self {
+        Committee { members }
+    }
+
+    /// The members in selection order.
+    #[must_use]
+    pub fn members(&self) -> &[Candidate] {
+        &self.members
+    }
+
+    /// Committee size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the committee is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total committee voting power (`n_t` of the committee, §II-A).
+    #[must_use]
+    pub fn total_power(&self) -> VotingPower {
+        self.members.iter().map(Candidate::power).sum()
+    }
+
+    /// Power aggregated per configuration index, sorted by index.
+    #[must_use]
+    pub fn power_by_config(&self) -> Vec<(usize, VotingPower)> {
+        let mut acc: HashMap<usize, VotingPower> = HashMap::new();
+        for m in &self.members {
+            *acc.entry(m.config).or_insert(VotingPower::ZERO) += m.power;
+        }
+        let mut rows: Vec<(usize, VotingPower)> = acc.into_iter().collect();
+        rows.sort_by_key(|&(c, _)| c);
+        rows
+    }
+
+    /// The committee's power-weighted configuration distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`fi_entropy::DistributionError`] for an empty or
+    /// zero-power committee.
+    pub fn distribution(&self) -> Result<Distribution, fi_entropy::DistributionError> {
+        let units: Vec<u64> = self
+            .power_by_config()
+            .iter()
+            .map(|(_, p)| p.as_units())
+            .collect();
+        Distribution::from_counts(&units)
+    }
+
+    /// Shannon entropy (bits) of the configuration distribution; `0.0` for
+    /// degenerate committees.
+    #[must_use]
+    pub fn entropy_bits(&self) -> f64 {
+        self.distribution()
+            .map(|d| d.shannon_entropy())
+            .unwrap_or(0.0)
+    }
+
+    /// The worst single-configuration share — the voting power one
+    /// configuration-level vulnerability compromises (lower is better;
+    /// bounded by `2^{−H_∞}`).
+    #[must_use]
+    pub fn worst_config_share(&self) -> f64 {
+        let total = self.total_power();
+        self.power_by_config()
+            .iter()
+            .map(|(_, p)| p.share_of(total))
+            .fold(0.0, f64::max)
+    }
+
+    /// Share of committee power held by attested members.
+    #[must_use]
+    pub fn attested_share(&self) -> f64 {
+        let attested: VotingPower = self
+            .members
+            .iter()
+            .filter(|m| m.attested())
+            .map(Candidate::power)
+            .sum();
+        attested.share_of(self.total_power())
+    }
+}
+
+impl FromIterator<Candidate> for Committee {
+    fn from_iter<I: IntoIterator<Item = Candidate>>(iter: I) -> Self {
+        Committee {
+            members: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<Candidate> {
+        vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::new(50), 0, true),
+            Candidate::new(ReplicaId::new(1), VotingPower::new(30), 0, false),
+            Candidate::new(ReplicaId::new(2), VotingPower::new(20), 1, true),
+        ]
+    }
+
+    #[test]
+    fn accessors() {
+        let c = candidates()[0];
+        assert_eq!(c.replica(), ReplicaId::new(0));
+        assert_eq!(c.power(), VotingPower::new(50));
+        assert_eq!(c.config(), 0);
+        assert!(c.attested());
+    }
+
+    #[test]
+    fn committee_aggregates() {
+        let committee: Committee = candidates().into_iter().collect();
+        assert_eq!(committee.len(), 3);
+        assert!(!committee.is_empty());
+        assert_eq!(committee.total_power(), VotingPower::new(100));
+        assert_eq!(
+            committee.power_by_config(),
+            vec![(0, VotingPower::new(80)), (1, VotingPower::new(20))]
+        );
+        assert!((committee.worst_config_share() - 0.8).abs() < 1e-12);
+        assert!((committee.attested_share() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_committee() {
+        let committee: Committee = candidates().into_iter().collect();
+        let d = committee.distribution().unwrap();
+        assert_eq!(d.dimension(), 2);
+        let expect = -(0.8f64 * 0.8f64.log2() + 0.2 * 0.2f64.log2());
+        assert!((committee.entropy_bits() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_committee_degenerates_gracefully() {
+        let committee = Committee::new(vec![]);
+        assert!(committee.is_empty());
+        assert_eq!(committee.entropy_bits(), 0.0);
+        assert_eq!(committee.worst_config_share(), 0.0);
+        assert!(committee.distribution().is_err());
+        assert_eq!(committee.attested_share(), 0.0);
+    }
+}

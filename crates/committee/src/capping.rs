@@ -1,0 +1,147 @@
+//! Per-configuration seat capping.
+
+use std::collections::HashMap;
+
+use crate::candidate::{Candidate, Committee};
+
+/// Selects up to `k` members in stake order, but allows each configuration
+/// at most `⌈cap_share · k⌉` seats. A simple, always-satisfiable guard
+/// against monoculture: stake still matters, but no single stack can fill
+/// the committee.
+///
+/// The cap is on *seats* rather than power share: a power-share cap is
+/// unsatisfiable during committee bootstrap (a singleton committee always
+/// gives its configuration 100% of the power), whereas a seat cap is
+/// well-defined at every step and bounds the power share whenever member
+/// stakes are comparable.
+///
+/// With `cap_share ≥ 1.0` this degenerates to
+/// [`crate::baseline::top_stake`].
+///
+/// # Panics
+///
+/// Panics if `cap_share` is not in `(0, 1]`.
+#[must_use]
+pub fn proportional_cap(candidates: &[Candidate], k: usize, cap_share: f64) -> Committee {
+    assert!(
+        cap_share > 0.0 && cap_share <= 1.0,
+        "cap share must be in (0, 1]"
+    );
+    let max_seats = ((cap_share * k as f64).ceil() as usize).max(1);
+    let mut sorted: Vec<Candidate> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !c.power().is_zero())
+        .collect();
+    sorted.sort_by(|a, b| {
+        b.power()
+            .cmp(&a.power())
+            .then_with(|| a.replica().cmp(&b.replica()))
+    });
+
+    let mut seats: HashMap<usize, usize> = HashMap::new();
+    let mut members: Vec<Candidate> = Vec::with_capacity(k.min(sorted.len()));
+    for cand in sorted {
+        if members.len() >= k {
+            break;
+        }
+        let used = seats.entry(cand.config()).or_insert(0);
+        if *used < max_seats {
+            *used += 1;
+            members.push(cand);
+        }
+    }
+    Committee::new(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::top_stake;
+    use fi_types::{ReplicaId, VotingPower};
+
+    fn monoculture_heavy() -> Vec<Candidate> {
+        // 6 whales all on config 0, 6 small fish across configs 1-3.
+        (0..12u64)
+            .map(|i| {
+                let (power, config) = if i < 6 {
+                    (100, 0)
+                } else {
+                    (20, 1 + (i as usize % 3))
+                };
+                Candidate::new(ReplicaId::new(i), VotingPower::new(power), config, true)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cap_limits_dominant_config_seats() {
+        let committee = proportional_cap(&monoculture_heavy(), 8, 0.5);
+        assert_eq!(committee.len(), 8);
+        let config0_seats = committee
+            .members()
+            .iter()
+            .filter(|m| m.config() == 0)
+            .count();
+        assert_eq!(config0_seats, 4, "cap 0.5 of 8 = 4 seats");
+    }
+
+    #[test]
+    fn cap_one_equals_top_stake() {
+        let candidates = monoculture_heavy();
+        let capped = proportional_cap(&candidates, 6, 1.0);
+        let stake = top_stake(&candidates, 6);
+        assert_eq!(capped.total_power(), stake.total_power());
+    }
+
+    #[test]
+    fn tight_cap_increases_entropy() {
+        let candidates = monoculture_heavy();
+        let loose = proportional_cap(&candidates, 8, 1.0);
+        let tight = proportional_cap(&candidates, 8, 0.4);
+        assert!(tight.entropy_bits() > loose.entropy_bits());
+        assert!(tight.worst_config_share() < loose.worst_config_share());
+    }
+
+    #[test]
+    fn cap_always_allows_at_least_one_seat() {
+        // A microscopic cap still admits one member per configuration.
+        let committee = proportional_cap(&monoculture_heavy(), 4, 0.01);
+        assert_eq!(committee.len(), 4);
+        let mut configs: Vec<usize> = committee.members().iter().map(|m| m.config()).collect();
+        configs.sort_unstable();
+        configs.dedup();
+        assert_eq!(configs.len(), 4, "one seat per configuration");
+    }
+
+    #[test]
+    fn stake_order_respected_within_cap() {
+        let committee = proportional_cap(&monoculture_heavy(), 4, 0.5);
+        // Two config-0 whales first (cap 2), then the biggest fish.
+        assert_eq!(committee.members()[0].replica(), ReplicaId::new(0));
+        assert_eq!(committee.members()[1].replica(), ReplicaId::new(1));
+        assert!(committee.members()[2].config() != 0);
+    }
+
+    #[test]
+    fn zero_power_candidates_skipped() {
+        let mut candidates = monoculture_heavy();
+        candidates.push(Candidate::new(
+            ReplicaId::new(50),
+            VotingPower::ZERO,
+            5,
+            true,
+        ));
+        let committee = proportional_cap(&candidates, 12, 1.0);
+        assert!(committee
+            .members()
+            .iter()
+            .all(|m| m.replica() != ReplicaId::new(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap share")]
+    fn rejects_zero_cap() {
+        let _ = proportional_cap(&monoculture_heavy(), 4, 0.0);
+    }
+}

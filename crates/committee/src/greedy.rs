@@ -1,0 +1,125 @@
+//! Greedy entropy-maximising selection.
+
+use crate::candidate::{Candidate, Committee};
+
+/// Selects `k` members by repeatedly adding the candidate that maximises
+/// the committee's configuration entropy (power-weighted). Ties are broken
+/// toward higher stake, then lower replica id, so the result is
+/// deterministic.
+///
+/// This is the constructive counterpart of Definition 1: it steers the
+/// committee toward κ-optimal fault independence as far as the candidate
+/// pool allows.
+#[must_use]
+pub fn greedy_diverse(candidates: &[Candidate], k: usize) -> Committee {
+    let mut remaining: Vec<Candidate> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !c.power().is_zero())
+        .collect();
+    let mut members: Vec<Candidate> = Vec::with_capacity(k.min(remaining.len()));
+
+    while members.len() < k && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in remaining.iter().enumerate() {
+            let mut trial = members.clone();
+            trial.push(*cand);
+            let entropy = Committee::new(trial).entropy_bits();
+            let better = match best {
+                None => true,
+                Some((best_i, best_h)) => {
+                    entropy > best_h + 1e-12
+                        || ((entropy - best_h).abs() <= 1e-12
+                            && preferred(cand, &remaining[best_i]))
+                }
+            };
+            if better {
+                best = Some((i, entropy));
+            }
+        }
+        let (idx, _) = best.expect("remaining is non-empty");
+        members.push(remaining.swap_remove(idx));
+    }
+    Committee::new(members)
+}
+
+fn preferred(a: &Candidate, b: &Candidate) -> bool {
+    (a.power(), std::cmp::Reverse(a.replica())) > (b.power(), std::cmp::Reverse(b.replica()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::top_stake;
+    use fi_types::{ReplicaId, VotingPower};
+
+    fn pool() -> Vec<Candidate> {
+        // 9 candidates, 3 configurations; stake concentrated on config 0.
+        (0..9u64)
+            .map(|i| {
+                let config = if i < 5 { 0 } else { 1 + (i as usize % 2) };
+                let power = if i < 5 { 100 } else { 40 };
+                Candidate::new(ReplicaId::new(i), VotingPower::new(power), config, true)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_beats_top_stake_on_entropy() {
+        let candidates = pool();
+        let greedy = greedy_diverse(&candidates, 6);
+        let stake = top_stake(&candidates, 6);
+        assert!(greedy.entropy_bits() > stake.entropy_bits());
+        assert!(greedy.worst_config_share() < stake.worst_config_share());
+    }
+
+    #[test]
+    fn greedy_spreads_across_configs() {
+        let committee = greedy_diverse(&pool(), 3);
+        let configs: Vec<usize> = committee.members().iter().map(Candidate::config).collect();
+        let mut unique = configs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "one member per configuration: {configs:?}");
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let candidates = pool();
+        assert_eq!(greedy_diverse(&candidates, 5), greedy_diverse(&candidates, 5));
+    }
+
+    #[test]
+    fn greedy_handles_small_pools() {
+        let candidates = pool();
+        let all = greedy_diverse(&candidates, 100);
+        assert_eq!(all.len(), 9);
+        let none = greedy_diverse(&candidates, 0);
+        assert!(none.is_empty());
+        let empty = greedy_diverse(&[], 5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn greedy_prefers_higher_stake_on_entropy_ties() {
+        // Two candidates, same configuration: entropy is 0 either way, so
+        // the higher-stake one is picked.
+        let candidates = vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::new(10), 0, true),
+            Candidate::new(ReplicaId::new(1), VotingPower::new(90), 0, true),
+        ];
+        let committee = greedy_diverse(&candidates, 1);
+        assert_eq!(committee.members()[0].replica(), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn greedy_skips_zero_power() {
+        let candidates = vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::ZERO, 0, true),
+            Candidate::new(ReplicaId::new(1), VotingPower::new(5), 1, true),
+        ];
+        let committee = greedy_diverse(&candidates, 2);
+        assert_eq!(committee.len(), 1);
+        assert_eq!(committee.members()[0].replica(), ReplicaId::new(1));
+    }
+}

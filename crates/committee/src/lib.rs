@@ -1,0 +1,66 @@
+//! # `fi-committee` — diversity-enforcing committee selection
+//!
+//! Permissionless protocols that elect a consensus committee (paper §II-A's
+//! "membership selection to form a consensus committee", ref \[15\]) get to
+//! *choose* which replicas hold voting power. That choice is the one lever a
+//! permissionless system has for fault independence: given attested
+//! configurations (from `fi-attest`), the selection policy can maximise the
+//! entropy of the committee's configuration distribution instead of blindly
+//! following stake.
+//!
+//! Policies implemented:
+//!
+//! * [`baseline::top_stake`] — highest stake wins (what delegation
+//!   concentrates toward; the paper's oligopoly);
+//! * [`baseline::random_weighted`] — classic stake-weighted sortition;
+//! * [`greedy::greedy_diverse`] — pick members to maximise committee
+//!   entropy at every step;
+//! * [`capping::proportional_cap`] — stake order, but no configuration may
+//!   exceed a share cap;
+//! * [`twotier::two_tier_weighted`] — the paper's §V sketch: attested
+//!   candidates weigh more than unattested ones in the sortition.
+//!
+//! ## Example
+//!
+//! ```
+//! use fi_committee::prelude::*;
+//! use fi_types::{ReplicaId, VotingPower};
+//!
+//! // 12 candidates on 3 configurations, heavily skewed stake.
+//! let candidates: Vec<Candidate> = (0..12)
+//!     .map(|i| Candidate::new(
+//!         ReplicaId::new(i),
+//!         VotingPower::new(if i == 0 { 1_000 } else { 50 }),
+//!         (i % 3) as usize,
+//!         true,
+//!     ))
+//!     .collect();
+//! let by_stake = top_stake(&candidates, 6);
+//! let diverse = greedy_diverse(&candidates, 6);
+//! // The diverse committee never has lower configuration entropy.
+//! assert!(diverse.entropy_bits() >= by_stake.entropy_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod candidate;
+pub mod capping;
+pub mod greedy;
+pub mod twotier;
+
+pub use baseline::{random_weighted, top_stake};
+pub use candidate::{Candidate, Committee};
+pub use capping::proportional_cap;
+pub use greedy::greedy_diverse;
+pub use twotier::two_tier_weighted;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::baseline::{random_weighted, top_stake};
+    pub use crate::candidate::{Candidate, Committee};
+    pub use crate::capping::proportional_cap;
+    pub use crate::greedy::greedy_diverse;
+    pub use crate::twotier::two_tier_weighted;
+}

@@ -1,0 +1,135 @@
+//! Two-tier attested-weighted sortition (paper §V).
+//!
+//! "Having two types of replicas (potentially with different voting
+//! right/weight), one supporting configuration attestation and one does
+//! not, will help to improve blockchain resilience." Attested candidates'
+//! stake is multiplied by the attested weight in the sortition, unattested
+//! by the (lower) unattested weight — so provable diversity earns selection
+//! probability.
+
+use fi_attest::TwoTierWeights;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::candidate::{Candidate, Committee};
+
+/// Stake-weighted sortition without replacement where each candidate's
+/// ticket is `stake × tier-weight`.
+#[must_use]
+pub fn two_tier_weighted(
+    candidates: &[Candidate],
+    k: usize,
+    weights: TwoTierWeights,
+    rng: &mut StdRng,
+) -> Committee {
+    let mut pool: Vec<(Candidate, u64)> = candidates
+        .iter()
+        .filter_map(|c| {
+            let w = if c.attested() {
+                weights.attested()
+            } else {
+                weights.unattested()
+            };
+            let ticket = c.power().scaled(w).as_units();
+            (ticket > 0).then_some((*c, ticket))
+        })
+        .collect();
+
+    let mut members = Vec::with_capacity(k.min(pool.len()));
+    while members.len() < k && !pool.is_empty() {
+        let total: u64 = pool.iter().map(|&(_, t)| t).sum();
+        let mut target = rng.gen_range(0..total);
+        let mut chosen = pool.len() - 1;
+        for (i, &(_, ticket)) in pool.iter().enumerate() {
+            if target < ticket {
+                chosen = i;
+                break;
+            }
+            target -= ticket;
+        }
+        members.push(pool.swap_remove(chosen).0);
+    }
+    Committee::new(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_types::{ReplicaId, VotingPower};
+    use rand::SeedableRng;
+
+    fn mixed_pool() -> Vec<Candidate> {
+        // Equal stakes: 10 attested (configs 0-9), 10 unattested.
+        (0..20u64)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(100),
+                    i as usize,
+                    i < 10,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn attested_weighting_raises_attested_share() {
+        let candidates = mixed_pool();
+        let mut attested_flat = 0usize;
+        let mut attested_tiered = 0usize;
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let flat = two_tier_weighted(&candidates, 8, TwoTierWeights::flat(), &mut rng);
+            attested_flat += flat.members().iter().filter(|c| c.attested()).count();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tiered =
+                two_tier_weighted(&candidates, 8, TwoTierWeights::new(1.0, 0.2), &mut rng);
+            attested_tiered += tiered.members().iter().filter(|c| c.attested()).count();
+        }
+        assert!(
+            attested_tiered > attested_flat + 80,
+            "tiered {attested_tiered} vs flat {attested_flat}"
+        );
+    }
+
+    #[test]
+    fn zero_unattested_weight_excludes_them() {
+        let candidates = mixed_pool();
+        let mut rng = StdRng::seed_from_u64(5);
+        let committee =
+            two_tier_weighted(&candidates, 10, TwoTierWeights::new(1.0, 0.0), &mut rng);
+        assert_eq!(committee.len(), 10);
+        assert!(committee.members().iter().all(Candidate::attested));
+        assert_eq!(committee.attested_share(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let candidates = mixed_pool();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            two_tier_weighted(&candidates, 5, TwoTierWeights::default(), &mut a),
+            two_tier_weighted(&candidates, 5, TwoTierWeights::default(), &mut b)
+        );
+    }
+
+    #[test]
+    fn no_duplicate_members() {
+        let candidates = mixed_pool();
+        let mut rng = StdRng::seed_from_u64(11);
+        let committee =
+            two_tier_weighted(&candidates, 15, TwoTierWeights::default(), &mut rng);
+        let mut ids: Vec<_> = committee.members().iter().map(|c| c.replica()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), committee.len());
+    }
+
+    #[test]
+    fn empty_pool_yields_empty_committee() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let committee = two_tier_weighted(&[], 5, TwoTierWeights::default(), &mut rng);
+        assert!(committee.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for committee selection: structural invariants
+//! (size, uniqueness, membership) and policy dominance relations.
+
+use fi_attest::TwoTierWeights;
+use fi_committee::prelude::*;
+use fi_types::{ReplicaId, VotingPower};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn candidate_pool() -> impl Strategy<Value = Vec<Candidate>> {
+    proptest::collection::vec((1u64..10_000, 0usize..12, proptest::bool::ANY), 1..60).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (power, config, attested))| {
+                    Candidate::new(
+                        ReplicaId::new(i as u64),
+                        VotingPower::new(power),
+                        config,
+                        attested,
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+fn check_structure(committee: &Committee, pool: &[Candidate], k: usize) -> Result<(), TestCaseError> {
+    prop_assert!(committee.len() <= k);
+    prop_assert!(committee.len() <= pool.len());
+    // No duplicates; every member drawn from the pool.
+    let mut ids: Vec<ReplicaId> = committee.members().iter().map(|c| c.replica()).collect();
+    ids.sort();
+    let before = ids.len();
+    ids.dedup();
+    prop_assert_eq!(ids.len(), before);
+    for m in committee.members() {
+        prop_assert!(pool.iter().any(|c| c == m));
+    }
+    // Entropy within [0, log2(support)].
+    let h = committee.entropy_bits();
+    prop_assert!(h >= 0.0);
+    prop_assert!(h <= 12f64.log2() + 1e-9);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn structural_invariants_all_policies(pool in candidate_pool(), k in 1usize..20, seed in 0u64..100) {
+        check_structure(&top_stake(&pool, k), &pool, k)?;
+        check_structure(&greedy_diverse(&pool, k), &pool, k)?;
+        check_structure(&proportional_cap(&pool, k, 0.3), &pool, k)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_structure(&random_weighted(&pool, k, &mut rng), &pool, k)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_structure(
+            &two_tier_weighted(&pool, k, TwoTierWeights::new(1.0, 0.4), &mut rng),
+            &pool,
+            k,
+        )?;
+    }
+
+    /// Greedy selection never has lower entropy than top-stake at the same
+    /// size (entropy is what it greedily maximises).
+    #[test]
+    fn greedy_dominates_top_stake(pool in candidate_pool(), k in 1usize..16) {
+        let greedy = greedy_diverse(&pool, k);
+        let stake = top_stake(&pool, k);
+        // Compare only when both filled the same number of seats (zero-power
+        // candidates are skipped by greedy).
+        if greedy.len() == stake.len() {
+            prop_assert!(
+                greedy.entropy_bits() >= stake.entropy_bits() - 1e-9,
+                "greedy {} < stake {}",
+                greedy.entropy_bits(),
+                stake.entropy_bits()
+            );
+        }
+    }
+
+    /// The seat cap is actually enforced.
+    #[test]
+    fn seat_cap_enforced(pool in candidate_pool(), k in 1usize..20, cap_pct in 1u32..=100) {
+        let cap = f64::from(cap_pct) / 100.0;
+        let committee = proportional_cap(&pool, k, cap);
+        let max_seats = ((cap * k as f64).ceil() as usize).max(1);
+        let mut per_config = std::collections::HashMap::new();
+        for m in committee.members() {
+            *per_config.entry(m.config()).or_insert(0usize) += 1;
+        }
+        for (&config, &seats) in &per_config {
+            prop_assert!(seats <= max_seats, "config {config} has {seats} > {max_seats}");
+        }
+    }
+
+    /// Zero unattested weight yields an all-attested committee.
+    #[test]
+    fn zero_weight_excludes_unattested(pool in candidate_pool(), k in 1usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let committee = two_tier_weighted(&pool, k, TwoTierWeights::new(1.0, 0.0), &mut rng);
+        prop_assert!(committee.members().iter().all(Candidate::attested));
+    }
+
+    /// top_stake picks a maximal-power subset: its total power is at least
+    /// that of any other policy's committee of at most the same size.
+    #[test]
+    fn top_stake_maximizes_power(pool in candidate_pool(), k in 1usize..16, seed in 0u64..50) {
+        let stake = top_stake(&pool, k);
+        let greedy = greedy_diverse(&pool, k);
+        if greedy.len() == stake.len() {
+            prop_assert!(stake.total_power() >= greedy.total_power());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sortition = random_weighted(&pool, k, &mut rng);
+        if sortition.len() == stake.len() {
+            prop_assert!(stake.total_power() >= sortition.total_power());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! A [`Configuration`]: one concrete component choice per layer, with a
+//! deterministic attestable measurement.
+
+use std::collections::BTreeMap;
+
+use core::fmt;
+
+use fi_types::hash::{hash_fields, Digest};
+use serde::{Deserialize, Serialize};
+
+use crate::component::{Component, ComponentKind};
+use crate::error::ConfigError;
+
+/// A replica configuration `d_i ∈ D`: the concrete stack one machine runs.
+///
+/// Not every layer must be present (a pure BFT validator has no mining
+/// software); two configurations are the same element of `D` iff their
+/// [`measurement`](Configuration::measurement) digests are equal, which is
+/// exactly what remote attestation (paper §III-B) reports.
+///
+/// # Example
+///
+/// ```
+/// use fi_config::{catalog, Configuration, ComponentKind};
+/// let os = catalog::operating_systems()[0].clone();
+/// let crypto = catalog::crypto_libraries()[0].clone();
+/// let config = Configuration::builder()
+///     .component(os.clone())
+///     .component(crypto)
+///     .build();
+/// assert_eq!(config.component(ComponentKind::OperatingSystem), Some(&os));
+/// assert!(config.component(ComponentKind::Database).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    components: BTreeMap<ComponentKind, Component>,
+}
+
+impl Configuration {
+    /// Starts building a configuration.
+    #[must_use]
+    pub fn builder() -> ConfigurationBuilder {
+        ConfigurationBuilder {
+            components: BTreeMap::new(),
+        }
+    }
+
+    /// The component at `kind`, if configured.
+    #[must_use]
+    pub fn component(&self, kind: ComponentKind) -> Option<&Component> {
+        self.components.get(&kind)
+    }
+
+    /// Iterates components in canonical (kind) order.
+    pub fn components(&self) -> impl Iterator<Item = &Component> {
+        self.components.values()
+    }
+
+    /// Number of configured layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The attestable measurement of the whole stack: a digest over all
+    /// components in canonical order. Equal measurements ⇔ identical
+    /// configurations.
+    #[must_use]
+    pub fn measurement(&self) -> Digest {
+        let digests: Vec<[u8; 32]> = self
+            .components
+            .values()
+            .map(|c| *c.measurement().as_bytes())
+            .collect();
+        let mut fields: Vec<&[u8]> = vec![b"fi-configuration-v1"];
+        for d in &digests {
+            fields.push(d);
+        }
+        hash_fields(&fields)
+    }
+
+    /// Whether `self` and `other` share the same *product* at `kind`
+    /// (version-insensitive) — the grain at which a product-level
+    /// vulnerability correlates faults.
+    #[must_use]
+    pub fn shares_product(&self, other: &Configuration, kind: ComponentKind) -> bool {
+        match (self.component(kind), other.component(kind)) {
+            (Some(a), Some(b)) => a.same_product(b),
+            _ => false,
+        }
+    }
+
+    /// Number of layers at which the two configurations use the same
+    /// product — a crude correlation score (0 = fully diverse stacks).
+    #[must_use]
+    pub fn shared_products(&self, other: &Configuration) -> usize {
+        ComponentKind::ALL
+            .iter()
+            .filter(|&&k| self.shares_product(other, k))
+            .count()
+    }
+
+    /// A copy with one component replaced (or added). How a diversity
+    /// manager's "move replica to another OS" action is expressed.
+    #[must_use]
+    pub fn with_component(&self, component: Component) -> Configuration {
+        let mut components = self.components.clone();
+        components.insert(component.kind(), component);
+        Configuration { components }
+    }
+
+    /// A copy with the component at `kind` removed, if present.
+    #[must_use]
+    pub fn without_component(&self, kind: ComponentKind) -> Configuration {
+        let mut components = self.components.clone();
+        components.remove(&kind);
+        Configuration { components }
+    }
+
+    /// Requires a component at `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::MissingComponent`] when absent.
+    pub fn require(&self, kind: ComponentKind) -> Result<&Component, ConfigError> {
+        self.component(kind).ok_or(ConfigError::MissingComponent {
+            kind: kind.label(),
+        })
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for c in self.components.values() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Configuration`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ConfigurationBuilder {
+    components: BTreeMap<ComponentKind, Component>,
+}
+
+impl ConfigurationBuilder {
+    /// Sets the component for its layer (replacing any previous choice at
+    /// that layer).
+    #[must_use]
+    pub fn component(mut self, component: Component) -> Self {
+        self.components.insert(component.kind(), component);
+        self
+    }
+
+    /// Sets multiple components.
+    #[must_use]
+    pub fn components(mut self, components: impl IntoIterator<Item = Component>) -> Self {
+        for c in components {
+            self.components.insert(c.kind(), c);
+        }
+        self
+    }
+
+    /// Finishes the configuration. An empty configuration is permitted
+    /// (useful as a neutral element); generators always populate at least
+    /// one layer.
+    #[must_use]
+    pub fn build(self) -> Configuration {
+        Configuration {
+            components: self.components,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::catalog;
+
+    fn sample() -> Configuration {
+        Configuration::builder()
+            .component(catalog::operating_systems()[0].clone())
+            .component(catalog::crypto_libraries()[1].clone())
+            .component(catalog::consensus_modules()[2].clone())
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_layers() {
+        let c = sample();
+        assert_eq!(c.layer_count(), 3);
+        assert!(c.component(ComponentKind::OperatingSystem).is_some());
+        assert!(c.component(ComponentKind::Database).is_none());
+    }
+
+    #[test]
+    fn builder_replaces_same_layer() {
+        let oses = catalog::operating_systems();
+        let c = Configuration::builder()
+            .component(oses[0].clone())
+            .component(oses[1].clone())
+            .build();
+        assert_eq!(c.layer_count(), 1);
+        assert_eq!(c.component(ComponentKind::OperatingSystem), Some(&oses[1]));
+    }
+
+    #[test]
+    fn builder_components_bulk() {
+        let c = Configuration::builder()
+            .components(vec![
+                catalog::operating_systems()[0].clone(),
+                catalog::databases()[0].clone(),
+            ])
+            .build();
+        assert_eq!(c.layer_count(), 2);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_discriminating() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.measurement(), b.measurement());
+        let c = a.with_component(catalog::operating_systems()[3].clone());
+        assert_ne!(a.measurement(), c.measurement());
+    }
+
+    #[test]
+    fn measurement_is_order_independent() {
+        let os = catalog::operating_systems()[0].clone();
+        let db = catalog::databases()[0].clone();
+        let ab = Configuration::builder()
+            .component(os.clone())
+            .component(db.clone())
+            .build();
+        let ba = Configuration::builder().component(db).component(os).build();
+        assert_eq!(ab.measurement(), ba.measurement());
+    }
+
+    #[test]
+    fn empty_configuration_has_distinct_measurement() {
+        let empty = Configuration::builder().build();
+        assert_ne!(empty.measurement(), sample().measurement());
+        assert_eq!(empty.layer_count(), 0);
+    }
+
+    #[test]
+    fn shares_product_is_version_insensitive() {
+        let a = sample();
+        let patched_os = a
+            .component(ComponentKind::OperatingSystem)
+            .unwrap()
+            .with_version("99");
+        let b = a.with_component(patched_os);
+        assert!(a.shares_product(&b, ComponentKind::OperatingSystem));
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn shares_product_false_when_layer_missing() {
+        let a = sample();
+        let b = a.without_component(ComponentKind::OperatingSystem);
+        assert!(!a.shares_product(&b, ComponentKind::OperatingSystem));
+    }
+
+    #[test]
+    fn shared_products_counts_layers() {
+        let a = sample();
+        assert_eq!(a.shared_products(&a), 3);
+        let diverse = Configuration::builder()
+            .component(catalog::operating_systems()[5].clone())
+            .component(catalog::crypto_libraries()[3].clone())
+            .component(catalog::consensus_modules()[4].clone())
+            .build();
+        assert_eq!(a.shared_products(&diverse), 0);
+    }
+
+    #[test]
+    fn require_reports_missing_layer() {
+        let c = sample();
+        assert!(c.require(ComponentKind::OperatingSystem).is_ok());
+        let err = c.require(ComponentKind::Database).unwrap_err();
+        assert!(err.to_string().contains("database"));
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let s = sample().to_string();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("operating-system"));
+    }
+
+    #[test]
+    fn without_component_removes() {
+        let c = sample().without_component(ComponentKind::CryptoLibrary);
+        assert_eq!(c.layer_count(), 2);
+        // Removing an absent layer is a no-op.
+        let same = c.without_component(ComponentKind::Database);
+        assert_eq!(same, c);
+    }
+}

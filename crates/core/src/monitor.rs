@@ -1,0 +1,273 @@
+//! The diversity monitor: configuration discovery → entropy report.
+
+use fi_attest::{AttestedRegistry, Quote, TwoTierWeights, Verifier};
+use fi_entropy::optimal::KappaOptimality;
+use fi_entropy::renyi::min_entropy_bits;
+use fi_entropy::shannon::{effective_configurations, evenness};
+use fi_types::{ReplicaId, SimTime, VotingPower};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// Discovers and quantifies replica diversity from attestation quotes
+/// (paper §III-B + §IV in one object).
+///
+/// The monitor issues per-replica challenge nonces, verifies quotes through
+/// its [`Verifier`], and keeps an [`AttestedRegistry`] from which it derives
+/// the diversity report.
+#[derive(Debug)]
+pub struct DiversityMonitor {
+    verifier: Verifier,
+    registry: AttestedRegistry,
+    next_nonce: u64,
+}
+
+impl DiversityMonitor {
+    /// Creates a monitor with the given verifier and tier weights.
+    #[must_use]
+    pub fn new(verifier: Verifier, weights: TwoTierWeights) -> Self {
+        DiversityMonitor {
+            verifier,
+            registry: AttestedRegistry::new(weights),
+            next_nonce: 1,
+        }
+    }
+
+    /// Issues a fresh challenge nonce for a replica's next attestation.
+    pub fn challenge(&mut self) -> u64 {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        nonce
+    }
+
+    /// Ingests a quote answering `nonce`, registering the replica as
+    /// attested with `power`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures ([`fi_attest::AttestError`]).
+    pub fn ingest_quote(
+        &mut self,
+        replica: ReplicaId,
+        quote: &Quote,
+        nonce: u64,
+        now: SimTime,
+        power: VotingPower,
+    ) -> Result<(), CoreError> {
+        self.registry
+            .register_attested(replica, quote, &self.verifier, now, Some(nonce), power)?;
+        Ok(())
+    }
+
+    /// Registers a replica that declined attestation (unattested tier).
+    pub fn ingest_unattested(&mut self, replica: ReplicaId, power: VotingPower) {
+        self.registry.register_unattested(replica, power);
+    }
+
+    /// The underlying registry.
+    #[must_use]
+    pub fn registry(&self) -> &AttestedRegistry {
+        &self.registry
+    }
+
+    /// Mutable verifier access (revocations, policy updates).
+    pub fn verifier_mut(&mut self) -> &mut Verifier {
+        &mut self.verifier
+    }
+
+    /// Produces the diversity report. With `include_unattested`, all
+    /// unattested power is counted as one opaque configuration (the
+    /// pessimistic reading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Entropy`] when no power is registered.
+    pub fn report(&self, include_unattested: bool) -> Result<DiversityReport, CoreError> {
+        let dist = self.registry.distribution(include_unattested)?;
+        let optimality = KappaOptimality::check(&dist, 1e-9);
+        Ok(DiversityReport {
+            replicas: self.registry.len(),
+            configurations: dist.support_size(),
+            total_effective_power: self.registry.total_effective_power(),
+            entropy_bits: dist.shannon_entropy(),
+            min_entropy_bits: min_entropy_bits(&dist),
+            effective_configurations: effective_configurations(&dist),
+            evenness: evenness(&dist),
+            kappa: optimality.kappa(),
+            kappa_optimal: optimality.is_optimal(),
+            entropy_deficit_bits: optimality.entropy_deficit_bits(),
+            worst_configuration_share: dist.max_probability(),
+        })
+    }
+}
+
+/// A snapshot of the system's measured diversity (§IV quantities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityReport {
+    /// Registered replicas (both tiers).
+    pub replicas: usize,
+    /// Distinct configurations in use.
+    pub configurations: usize,
+    /// Total effective (tier-weighted) voting power.
+    pub total_effective_power: VotingPower,
+    /// Shannon entropy `H(p)` in bits.
+    pub entropy_bits: f64,
+    /// Min-entropy `H_∞(p)` in bits (worst-case single configuration).
+    pub min_entropy_bits: f64,
+    /// Effective number of configurations `2^H`.
+    pub effective_configurations: f64,
+    /// Evenness `H / log2 κ ∈ [0, 1]`.
+    pub evenness: f64,
+    /// Realised κ (support size).
+    pub kappa: usize,
+    /// Whether Definition 1 (κ-optimal fault independence) holds.
+    pub kappa_optimal: bool,
+    /// `log2 κ − H`: how far from κ-optimal.
+    pub entropy_deficit_bits: f64,
+    /// The dominant configuration's power share (what one zero-day takes).
+    pub worst_configuration_share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_attest::{AttestationPolicy, DeviceKind, TrustedDevice};
+    use fi_types::{sha256, KeyPair};
+
+    fn monitor_with_roots(devices: &[&TrustedDevice]) -> DiversityMonitor {
+        let mut verifier = Verifier::new(AttestationPolicy::discovery());
+        for d in devices {
+            verifier.trust_endorsement(d.endorsement_key());
+        }
+        DiversityMonitor::new(verifier, TwoTierWeights::flat())
+    }
+
+    fn attest_cycle(
+        monitor: &mut DiversityMonitor,
+        device: &TrustedDevice,
+        replica: u64,
+        measurement: &[u8],
+        power: u64,
+    ) {
+        let nonce = monitor.challenge();
+        let aik = device.create_aik(&format!("aik-{replica}"));
+        let quote = aik.quote(
+            sha256(measurement),
+            nonce,
+            KeyPair::from_seed(replica).public_key(),
+            SimTime::ZERO,
+        );
+        monitor
+            .ingest_quote(
+                ReplicaId::new(replica),
+                &quote,
+                nonce,
+                SimTime::ZERO,
+                VotingPower::new(power),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn challenges_are_unique() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        let a = m.challenge();
+        let b = m.challenge();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_pipeline_uniform_is_kappa_optimal() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        for i in 0..4u64 {
+            attest_cycle(&mut m, &device, i, format!("cfg-{i}").as_bytes(), 100);
+        }
+        let report = m.report(false).unwrap();
+        assert_eq!(report.replicas, 4);
+        assert_eq!(report.configurations, 4);
+        assert!(report.kappa_optimal);
+        assert!((report.entropy_bits - 2.0).abs() < 1e-12);
+        assert!((report.effective_configurations - 4.0).abs() < 1e-9);
+        assert!((report.evenness - 1.0).abs() < 1e-12);
+        assert!((report.worst_configuration_share - 0.25).abs() < 1e-12);
+        assert!(report.entropy_deficit_bits < 1e-12);
+    }
+
+    #[test]
+    fn skewed_power_reduces_entropy() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        attest_cycle(&mut m, &device, 0, b"cfg-a", 900);
+        attest_cycle(&mut m, &device, 1, b"cfg-b", 100);
+        let report = m.report(false).unwrap();
+        assert!(!report.kappa_optimal);
+        assert!(report.entropy_bits < 1.0);
+        assert!(report.entropy_deficit_bits > 0.0);
+        assert!((report.worst_configuration_share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        let nonce = m.challenge();
+        let aik = device.create_aik("aik");
+        let quote = aik.quote(
+            sha256(b"cfg"),
+            nonce + 999,
+            KeyPair::from_seed(0).public_key(),
+            SimTime::ZERO,
+        );
+        let err = m
+            .ingest_quote(
+                ReplicaId::new(0),
+                &quote,
+                nonce,
+                SimTime::ZERO,
+                VotingPower::new(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Attest(_)));
+        assert!(m.report(false).is_err(), "nothing registered");
+    }
+
+    #[test]
+    fn unattested_bucket_changes_report() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        attest_cycle(&mut m, &device, 0, b"cfg-a", 100);
+        m.ingest_unattested(ReplicaId::new(1), VotingPower::new(100));
+        let without = m.report(false).unwrap();
+        let with = m.report(true).unwrap();
+        assert_eq!(without.configurations, 1);
+        assert_eq!(with.configurations, 2);
+        assert!(with.entropy_bits > without.entropy_bits);
+        assert_eq!(with.replicas, 2);
+    }
+
+    #[test]
+    fn revocation_through_verifier_mut() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        let aik = device.create_aik("aik");
+        m.verifier_mut().revoke(aik.public_key());
+        let nonce = m.challenge();
+        let quote = aik.quote(
+            sha256(b"cfg"),
+            nonce,
+            KeyPair::from_seed(0).public_key(),
+            SimTime::ZERO,
+        );
+        assert!(m
+            .ingest_quote(
+                ReplicaId::new(0),
+                &quote,
+                nonce,
+                SimTime::ZERO,
+                VotingPower::new(1)
+            )
+            .is_err());
+    }
+}

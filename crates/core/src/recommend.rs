@@ -1,0 +1,204 @@
+//! The diversity recommender: reconfiguration moves toward κ-optimality.
+//!
+//! This is the permissionless analogue of Lazarus (§III-A): instead of a
+//! central controller rotating OS images, the recommender computes which
+//! replicas should migrate to which configurations to maximise the entropy
+//! of the power-weighted configuration distribution, and by how much each
+//! move helps. Operators can be incentivised to follow such recommendations
+//! (e.g. via the two-tier weights) even without central control.
+
+use fi_config::Assignment;
+use fi_types::ReplicaId;
+use serde::{Deserialize, Serialize};
+
+/// One suggested migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Which replica should move.
+    pub replica: ReplicaId,
+    /// Its current configuration index.
+    pub from_config: usize,
+    /// The suggested configuration index.
+    pub to_config: usize,
+    /// Entropy (bits) after applying this and all previous moves.
+    pub entropy_after: f64,
+    /// Entropy gained by this single move.
+    pub gain_bits: f64,
+}
+
+/// Computes greedy reconfiguration plans.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    max_moves: usize,
+    min_gain_bits: f64,
+}
+
+impl Recommender {
+    /// A recommender that proposes at most `max_moves` migrations and stops
+    /// early when the best remaining move gains less than `min_gain_bits`.
+    #[must_use]
+    pub fn new(max_moves: usize, min_gain_bits: f64) -> Self {
+        Recommender {
+            max_moves,
+            min_gain_bits: min_gain_bits.max(0.0),
+        }
+    }
+
+    /// Greedily plans migrations on a copy of `assignment`: at each step,
+    /// move the replica whose reassignment yields the largest entropy gain.
+    /// Returns the plan in application order (possibly empty if the
+    /// assignment is already optimal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fi_config::ConfigError`] if the assignment carries no
+    /// voting power.
+    pub fn plan(&self, assignment: &Assignment) -> Result<Vec<Recommendation>, fi_config::ConfigError> {
+        let mut working = assignment.clone();
+        let mut entropy = working.entropy_bits()?;
+        let mut plan = Vec::new();
+
+        for _ in 0..self.max_moves {
+            let mut best: Option<(ReplicaId, usize, usize, f64)> = None;
+            let entries: Vec<(ReplicaId, usize)> = working
+                .entries()
+                .iter()
+                .map(|e| (e.replica, e.config))
+                .collect();
+            for (replica, current) in &entries {
+                for target in 0..working.space().len() {
+                    if target == *current {
+                        continue;
+                    }
+                    let mut trial = working.clone();
+                    trial.reassign(*replica, target)?;
+                    let h = trial.entropy_bits()?;
+                    let better = match best {
+                        None => h > entropy,
+                        Some((_, _, _, best_h)) => h > best_h,
+                    };
+                    if better {
+                        best = Some((*replica, *current, target, h));
+                    }
+                }
+            }
+            let Some((replica, from_config, to_config, h)) = best else {
+                break;
+            };
+            let gain = h - entropy;
+            if gain < self.min_gain_bits || gain <= 1e-12 {
+                break;
+            }
+            working.reassign(replica, to_config)?;
+            entropy = h;
+            plan.push(Recommendation {
+                replica,
+                from_config,
+                to_config,
+                entropy_after: h,
+                gain_bits: gain,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Applies a plan to an assignment in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fi_config::ConfigError`] if a move references an unknown
+    /// replica or configuration.
+    pub fn apply(
+        assignment: &mut Assignment,
+        plan: &[Recommendation],
+    ) -> Result<(), fi_config::ConfigError> {
+        for rec in plan {
+            assignment.reassign(rec.replica, rec.to_config)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Recommender {
+    /// Up to 16 moves, any positive gain.
+    fn default() -> Self {
+        Recommender::new(16, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_config::prelude::*;
+
+    fn space(k: usize) -> ConfigurationSpace {
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..k].to_vec()]).unwrap()
+    }
+
+    #[test]
+    fn monoculture_gets_fixed() {
+        let assignment = Assignment::monoculture(&space(4), 0, 8, VotingPower::new(10)).unwrap();
+        let plan = Recommender::default().plan(&assignment).unwrap();
+        assert!(!plan.is_empty());
+        let mut fixed = assignment.clone();
+        Recommender::apply(&mut fixed, &plan).unwrap();
+        // 8 replicas over 4 configs, equal power: reaches 2 bits.
+        assert!((fixed.entropy_bits().unwrap() - 2.0).abs() < 1e-9, "plan: {plan:?}");
+    }
+
+    #[test]
+    fn plan_gains_are_monotone_and_positive() {
+        let assignment = Assignment::monoculture(&space(4), 0, 8, VotingPower::new(10)).unwrap();
+        let plan = Recommender::default().plan(&assignment).unwrap();
+        for rec in &plan {
+            assert!(rec.gain_bits > 0.0);
+        }
+        // entropy_after is non-decreasing along the plan.
+        for w in plan.windows(2) {
+            assert!(w[1].entropy_after >= w[0].entropy_after);
+        }
+    }
+
+    #[test]
+    fn optimal_assignment_needs_no_moves() {
+        let assignment = Assignment::round_robin(&space(4), 8, VotingPower::new(10)).unwrap();
+        let plan = Recommender::default().plan(&assignment).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn max_moves_caps_plan_length() {
+        let assignment = Assignment::monoculture(&space(4), 0, 12, VotingPower::new(10)).unwrap();
+        let plan = Recommender::new(2, 0.0).plan(&assignment).unwrap();
+        assert!(plan.len() <= 2);
+    }
+
+    #[test]
+    fn min_gain_threshold_stops_early() {
+        let assignment = Assignment::monoculture(&space(4), 0, 8, VotingPower::new(10)).unwrap();
+        let all = Recommender::new(32, 0.0).plan(&assignment).unwrap();
+        let picky = Recommender::new(32, 0.5).plan(&assignment).unwrap();
+        assert!(picky.len() <= all.len());
+        assert!(picky.iter().all(|r| r.gain_bits >= 0.5));
+    }
+
+    #[test]
+    fn plan_respects_power_weighting() {
+        // One whale on config 0, dust elsewhere: moving the whale is the
+        // single best move only if it helps entropy; the recommender should
+        // strictly improve the weighted entropy either way.
+        let s = space(3);
+        let powers = [
+            VotingPower::new(700),
+            VotingPower::new(100),
+            VotingPower::new(100),
+            VotingPower::new(100),
+        ];
+        let assignment = Assignment::with_powers(&s, &powers).unwrap();
+        let before = assignment.entropy_bits().unwrap();
+        let plan = Recommender::default().plan(&assignment).unwrap();
+        if let Some(last) = plan.last() {
+            assert!(last.entropy_after > before);
+        }
+    }
+}

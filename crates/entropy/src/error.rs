@@ -1,0 +1,77 @@
+//! Error types for `fi-entropy`.
+
+use core::fmt;
+
+/// Errors from constructing or manipulating probability distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// The input was empty; a distribution needs at least one outcome.
+    Empty,
+    /// A probability (or weight) was negative or non-finite.
+    InvalidProbability {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Probabilities did not sum to 1 within tolerance.
+    NotNormalized {
+        /// The actual sum of the input probabilities.
+        sum: f64,
+    },
+    /// All weights were zero, so no distribution can be derived.
+    ZeroTotalWeight,
+    /// Two distributions (or an index) had mismatched dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::Empty => {
+                write!(f, "distribution requires at least one outcome")
+            }
+            DistributionError::InvalidProbability { index, value } => {
+                write!(
+                    f,
+                    "invalid probability {value} at index {index}: must be finite and non-negative"
+                )
+            }
+            DistributionError::NotNormalized { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+            DistributionError::ZeroTotalWeight => {
+                write!(f, "all weights are zero; cannot normalize")
+            }
+            DistributionError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<DistributionError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(DistributionError::Empty.to_string().contains("at least one"));
+        assert!(DistributionError::NotNormalized { sum: 0.9 }
+            .to_string()
+            .contains("0.9"));
+    }
+}

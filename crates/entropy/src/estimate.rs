@@ -1,0 +1,278 @@
+//! Entropy estimation from sampled configuration observations.
+//!
+//! Configuration discovery (paper §III-B) yields *samples*: attestation
+//! quotes from some subset of replicas. Estimating the diversity of the
+//! whole population from those samples is a classic problem; we provide the
+//! plug-in (maximum-likelihood) estimator and the Miller–Madow
+//! bias-corrected estimator, plus a small frequency-table builder.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::dist::Distribution;
+use crate::error::DistributionError;
+
+/// A frequency table over observed configuration labels.
+///
+/// # Example
+///
+/// ```
+/// use fi_entropy::estimate::FrequencyTable;
+/// let mut table = FrequencyTable::new();
+/// for label in ["linux", "bsd", "linux", "illumos"] {
+///     table.observe(label);
+/// }
+/// assert_eq!(table.total(), 4);
+/// assert_eq!(table.distinct(), 3);
+/// assert_eq!(table.count(&"linux"), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyTable<T: Eq + Hash> {
+    counts: HashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Default for FrequencyTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash> FrequencyTable<T> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        FrequencyTable {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `label`.
+    pub fn observe(&mut self, label: T) {
+        *self.counts.entry(label).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` observations of `label`.
+    pub fn observe_n(&mut self, label: T, n: u64) {
+        *self.counts.entry(label).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct labels seen.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for a specific label (0 if unseen).
+    #[must_use]
+    pub fn count(&self, label: &T) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// The empirical distribution over observed labels (order unspecified
+    /// but deterministic per table content is *not* guaranteed; use
+    /// [`counts_sorted`](Self::counts_sorted) when order matters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::Empty`] when no observations were made.
+    pub fn empirical(&self) -> Result<Distribution, DistributionError> {
+        if self.total == 0 {
+            return Err(DistributionError::Empty);
+        }
+        let counts: Vec<u64> = self.counts.values().copied().collect();
+        Distribution::from_counts(&counts)
+    }
+
+    /// The counts in descending order — a deterministic summary invariant
+    /// under label renaming (entropy only depends on this multiset).
+    #[must_use]
+    pub fn counts_sorted(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for FrequencyTable<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut table = FrequencyTable::new();
+        for item in iter {
+            table.observe(item);
+        }
+        table
+    }
+}
+
+impl<T: Eq + Hash> Extend<T> for FrequencyTable<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.observe(item);
+        }
+    }
+}
+
+/// Plug-in (maximum-likelihood) entropy estimate in bits from sample
+/// counts: the entropy of the empirical distribution. Biased low for small
+/// samples.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if `counts` is empty or all-zero.
+pub fn plugin_entropy_bits(counts: &[u64]) -> Result<f64, DistributionError> {
+    Ok(Distribution::from_counts(counts)?.shannon_entropy())
+}
+
+/// Miller–Madow bias-corrected entropy estimate in bits:
+/// `H_plugin + (m − 1) / (2 n ln 2)` where `m` is the number of non-zero
+/// counts and `n` the sample size.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if `counts` is empty or all-zero.
+pub fn miller_madow_entropy_bits(counts: &[u64]) -> Result<f64, DistributionError> {
+    let plugin = plugin_entropy_bits(counts)?;
+    let m = counts.iter().filter(|&&c| c > 0).count() as f64;
+    let n: u64 = counts.iter().sum();
+    Ok(plugin + (m - 1.0) / (2.0 * n as f64 * std::f64::consts::LN_2))
+}
+
+/// Coverage-adjusted support estimate (Chao1): a lower bound on the true
+/// number of configurations given singletons `f1` and doubletons `f2`
+/// observed among `counts`. Useful when attestation coverage is partial and
+/// the discovered support undercounts `κ`.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if `counts` is empty or all-zero.
+pub fn chao1_support_estimate(counts: &[u64]) -> Result<f64, DistributionError> {
+    if counts.is_empty() {
+        return Err(DistributionError::Empty);
+    }
+    let observed = counts.iter().filter(|&&c| c > 0).count();
+    if observed == 0 {
+        return Err(DistributionError::ZeroTotalWeight);
+    }
+    let f1 = counts.iter().filter(|&&c| c == 1).count() as f64;
+    let f2 = counts.iter().filter(|&&c| c == 2).count() as f64;
+    let correction = if f2 > 0.0 {
+        f1 * f1 / (2.0 * f2)
+    } else {
+        f1 * (f1 - 1.0) / 2.0
+    };
+    Ok(observed as f64 + correction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn frequency_table_basics() {
+        let mut t = FrequencyTable::new();
+        t.observe("a");
+        t.observe("b");
+        t.observe_n("a", 3);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.distinct(), 2);
+        assert_eq!(t.count(&"a"), 4);
+        assert_eq!(t.count(&"z"), 0);
+        assert_eq!(t.counts_sorted(), vec![4, 1]);
+    }
+
+    #[test]
+    fn frequency_table_from_iterator_and_extend() {
+        let mut t: FrequencyTable<u8> = [1u8, 2, 1].into_iter().collect();
+        t.extend([2u8, 3]);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn empirical_distribution_errors_when_empty() {
+        let t: FrequencyTable<u8> = FrequencyTable::new();
+        assert!(t.empirical().is_err());
+    }
+
+    #[test]
+    fn empirical_entropy_matches_plugin() {
+        let t: FrequencyTable<char> = "aabbbb".chars().collect();
+        let h_table = t.empirical().unwrap().shannon_entropy();
+        let h_plugin = plugin_entropy_bits(&t.counts_sorted()).unwrap();
+        assert!((h_table - h_plugin).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plugin_matches_exact_on_exact_counts() {
+        let h = plugin_entropy_bits(&[1, 1, 1, 1]).unwrap();
+        assert!((h - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miller_madow_is_above_plugin() {
+        let counts = [5, 3, 2, 1, 1];
+        let plugin = plugin_entropy_bits(&counts).unwrap();
+        let mm = miller_madow_entropy_bits(&counts).unwrap();
+        assert!(mm > plugin);
+    }
+
+    #[test]
+    fn miller_madow_correction_shrinks_with_sample_size() {
+        let small = miller_madow_entropy_bits(&[2, 2]).unwrap() - plugin_entropy_bits(&[2, 2]).unwrap();
+        let large =
+            miller_madow_entropy_bits(&[200, 200]).unwrap() - plugin_entropy_bits(&[200, 200]).unwrap();
+        assert!(large < small);
+    }
+
+    #[test]
+    fn estimators_converge_to_truth_on_large_samples() {
+        // Sample from a known distribution and check the estimate is close.
+        let probs = [0.5, 0.25, 0.125, 0.125];
+        let truth: f64 = probs.iter().map(|p: &f64| -p * p.log2()).sum();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u64; 4];
+        for _ in 0..200_000 {
+            let x: f64 = rng.gen();
+            let mut acc = 0.0;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if x < acc {
+                    counts[i] += 1;
+                    break;
+                }
+            }
+        }
+        let est = miller_madow_entropy_bits(&counts).unwrap();
+        assert!((est - truth).abs() < 0.01, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn chao1_with_no_rare_species_equals_observed() {
+        let est = chao1_support_estimate(&[10, 20, 30]).unwrap();
+        assert!((est - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chao1_extrapolates_with_singletons() {
+        // Many singletons suggest unseen configurations.
+        let est = chao1_support_estimate(&[1, 1, 1, 1, 2]).unwrap();
+        assert!(est > 5.0);
+    }
+
+    #[test]
+    fn chao1_rejects_empty() {
+        assert!(chao1_support_estimate(&[]).is_err());
+        assert!(chao1_support_estimate(&[0, 0]).is_err());
+    }
+}

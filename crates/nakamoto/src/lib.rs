@@ -1,0 +1,48 @@
+//! # `fi-nakamoto` — Nakamoto consensus under correlated pool compromise
+//!
+//! The paper's running example is Bitcoin (§I, §III): voting power is hash
+//! rate, replicas are miners, and delegation to mining pools collapses many
+//! participants onto a handful of software stacks. This crate provides the
+//! Proof-of-Work substrate for the experiments:
+//!
+//! * [`block`] / [`chain`] — a block tree with longest-chain (heaviest
+//!   height, first-seen tie-break) selection and reorg accounting;
+//! * [`miner`] — miners with hash power and strategies;
+//! * [`pool`] — mining pools, including the exact Example-1 top-17 set and
+//!   the delegation structure that makes one pool-software vulnerability
+//!   compromise the pool's whole share;
+//! * [`sim`] — an event-driven mining race with propagation delay (stale
+//!   tips produce natural forks);
+//! * [`attack`] — double-spend analysis (the analytic
+//!   Nakamoto/Rosenfeld race and a Monte-Carlo cross-check) and a
+//!   selfish-mining baseline (Eyal–Sirer), both parameterised by the
+//!   attacker's share so correlated-compromise experiments can feed the
+//!   compromised power straight in.
+//!
+//! ## Example
+//!
+//! ```
+//! use fi_nakamoto::attack::double_spend_success_probability;
+//!
+//! // With 10% of hash power and 6 confirmations, double spends are rare...
+//! assert!(double_spend_success_probability(0.10, 6) < 0.001);
+//! // ...but a vulnerability compromising the top pools (say 55%) is fatal.
+//! assert!((double_spend_success_probability(0.55, 6) - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod block;
+pub mod chain;
+pub mod miner;
+pub mod pool;
+pub mod sim;
+
+pub use attack::{double_spend_success_probability, monte_carlo_double_spend};
+pub use block::Block;
+pub use chain::BlockTree;
+pub use miner::{Miner, MinerStrategy};
+pub use pool::{bitcoin_pools_2023, Pool};
+pub use sim::{MiningSim, MiningSimConfig, MiningSimReport};

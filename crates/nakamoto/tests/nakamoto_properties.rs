@@ -1,0 +1,99 @@
+//! Property-based tests for the Nakamoto substrate: block-tree invariants,
+//! double-spend monotonicity, and race-simulation conservation laws.
+
+use fi_nakamoto::attack::double_spend_success_probability;
+use fi_nakamoto::block::Block;
+use fi_nakamoto::chain::BlockTree;
+use fi_nakamoto::sim::{run_honest_race, MiningSimConfig};
+use fi_types::{SimTime, VotingPower};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tree conservation: blocks = main-chain length + orphans + genesis,
+    /// and per-miner main-chain counts sum to the height.
+    #[test]
+    fn tree_conservation(inserts in proptest::collection::vec((0usize..4, 0u8..2), 1..60)) {
+        let mut tree = BlockTree::new();
+        // Grow a tree: each step mines on either the tip or (fork bit set)
+        // the tip's parent when possible.
+        for (salt, (miner, fork)) in inserts.into_iter().enumerate() {
+            let salt = salt as u64;
+            let parent = if fork == 1 && tree.height() >= 1 {
+                *tree.get(&tree.tip().parent()).unwrap()
+            } else {
+                *tree.tip()
+            };
+            let block = Block::mine(&parent, miner, SimTime::from_secs(salt + 1), salt);
+            tree.insert(block);
+        }
+        let total_non_genesis = tree.len() - 1;
+        prop_assert_eq!(total_non_genesis, tree.height() as usize + tree.orphans());
+        let per_miner = tree.main_chain_blocks_per_miner(4);
+        prop_assert_eq!(per_miner.iter().sum::<usize>(), tree.height() as usize);
+        // Main chain heights are contiguous from tip to genesis.
+        let chain = tree.main_chain();
+        for w in chain.windows(2) {
+            prop_assert_eq!(w[0].height(), w[1].height() + 1);
+            prop_assert_eq!(w[0].parent(), w[1].id());
+        }
+    }
+
+    /// Double-spend probability is monotone in the attacker share and
+    /// antitone in confirmations, and bounded in [0, 1].
+    #[test]
+    fn double_spend_monotone(q in 0.0f64..0.49, z in 1u32..12) {
+        let p = double_spend_success_probability(q, z);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p_more_share = double_spend_success_probability((q + 0.01).min(0.499), z);
+        prop_assert!(p_more_share >= p - 1e-12);
+        let p_more_confs = double_spend_success_probability(q, z + 1);
+        prop_assert!(p_more_confs <= p + 1e-12);
+    }
+
+    /// The honest race conserves blocks: height + orphans = blocks mined,
+    /// and per-miner revenue sums to the height.
+    #[test]
+    fn race_conservation(
+        n_miners in 1usize..8,
+        blocks in 50u64..400,
+        seed in 0u64..50,
+        delay_s in 0u64..120,
+    ) {
+        let powers: Vec<VotingPower> =
+            (0..n_miners).map(|i| VotingPower::new(10 + i as u64)).collect();
+        let config = MiningSimConfig {
+            block_interval: SimTime::from_secs(600),
+            propagation_delay: SimTime::from_secs(delay_s),
+            blocks,
+        };
+        let report = run_honest_race(&powers, config, seed);
+        prop_assert_eq!(
+            report.main_chain_height as usize + report.orphans,
+            blocks as usize
+        );
+        let revenue: usize = report.blocks_by_miner.iter().sum();
+        prop_assert_eq!(revenue, report.main_chain_height as usize);
+        prop_assert!(report.fork_rate >= 0.0 && report.fork_rate <= 1.0);
+        // Zero delay => zero forks.
+        if delay_s == 0 {
+            prop_assert_eq!(report.orphans, 0);
+        }
+    }
+
+    /// Confirmations always lie on the main chain and decrease toward the
+    /// tip.
+    #[test]
+    fn confirmations_decrease_toward_tip(chain_len in 1u64..30) {
+        let mut tree = BlockTree::new();
+        let mut ids = Vec::new();
+        for i in 0..chain_len {
+            let block = Block::mine(tree.tip(), 0, SimTime::from_secs(i + 1), i);
+            ids.push(block.id());
+            tree.insert(block);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let confs = tree.confirmations(id).unwrap();
+            prop_assert_eq!(confs, chain_len - i as u64);
+        }
+    }
+}

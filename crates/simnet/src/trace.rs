@@ -1,0 +1,156 @@
+//! Simulation statistics: message counts per outcome and per node.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Counters accumulated while a simulation runs.
+///
+/// Message-complexity experiments (the Proposition-3 overhead trade-off)
+/// read `sent`/`delivered` after a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    blocked_by_partition: u64,
+    timers_fired: u64,
+    faults_injected: u64,
+    per_node_sent: Vec<u64>,
+    per_node_delivered: Vec<u64>,
+}
+
+impl TraceStats {
+    pub(crate) fn ensure_nodes(&mut self, n: usize) {
+        if self.per_node_sent.len() < n {
+            self.per_node_sent.resize(n, 0);
+            self.per_node_delivered.resize(n, 0);
+        }
+    }
+
+    pub(crate) fn record_sent(&mut self, from: NodeId) {
+        self.sent += 1;
+        if let Some(c) = self.per_node_sent.get_mut(from.index()) {
+            *c += 1;
+        }
+    }
+
+    pub(crate) fn record_delivered(&mut self, to: NodeId) {
+        self.delivered += 1;
+        if let Some(c) = self.per_node_delivered.get_mut(to.index()) {
+            *c += 1;
+        }
+    }
+
+    pub(crate) fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    pub(crate) fn record_blocked(&mut self) {
+        self.blocked_by_partition += 1;
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    pub(crate) fn record_fault(&mut self) {
+        self.faults_injected += 1;
+    }
+
+    /// Messages handed to the network.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages delivered to a node.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped by the loss model.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages blocked by an active partition.
+    #[must_use]
+    pub fn blocked_by_partition(&self) -> u64 {
+        self.blocked_by_partition
+    }
+
+    /// Timers fired.
+    #[must_use]
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Faults injected.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Messages sent by `node`.
+    #[must_use]
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.per_node_sent.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered to `node`.
+    #[must_use]
+    pub fn delivered_to(&self, node: NodeId) -> u64 {
+        self.per_node_delivered
+            .get(node.index())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TraceStats::default();
+        s.ensure_nodes(2);
+        s.record_sent(NodeId::new(0));
+        s.record_sent(NodeId::new(0));
+        s.record_delivered(NodeId::new(1));
+        s.record_dropped();
+        s.record_blocked();
+        s.record_timer();
+        s.record_fault();
+        assert_eq!(s.sent(), 2);
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.blocked_by_partition(), 1);
+        assert_eq!(s.timers_fired(), 1);
+        assert_eq!(s.faults_injected(), 1);
+        assert_eq!(s.sent_by(NodeId::new(0)), 2);
+        assert_eq!(s.delivered_to(NodeId::new(1)), 1);
+        assert_eq!(s.sent_by(NodeId::new(9)), 0);
+    }
+
+    #[test]
+    fn conservation_sent_equals_outcomes() {
+        // The engine maintains: sent = delivered + dropped + blocked +
+        // in-flight. With everything resolved, the identity is testable at
+        // the stats level too.
+        let mut s = TraceStats::default();
+        s.ensure_nodes(1);
+        for _ in 0..5 {
+            s.record_sent(NodeId::new(0));
+        }
+        for _ in 0..3 {
+            s.record_delivered(NodeId::new(0));
+        }
+        s.record_dropped();
+        s.record_blocked();
+        assert_eq!(s.sent(), s.delivered() + s.dropped() + s.blocked_by_partition());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for `fi-types`.
+
+use core::fmt;
+
+/// Error parsing a hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseHexError {
+    /// The input had an odd number of characters.
+    OddLength {
+        /// Length of the offending input.
+        length: usize,
+    },
+    /// A character was not a hex digit.
+    InvalidChar {
+        /// The offending character.
+        ch: char,
+        /// Its byte index in the input.
+        index: usize,
+    },
+    /// The decoded byte string had the wrong length for the target type.
+    BadLength {
+        /// Expected number of hex characters.
+        expected: usize,
+        /// Actual number of hex characters.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHexError::OddLength { length } => {
+                write!(f, "hex string has odd length {length}")
+            }
+            ParseHexError::InvalidChar { ch, index } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+            ParseHexError::BadLength { expected, actual } => {
+                write!(f, "expected {expected} hex characters, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+/// Error from fallible voting-power arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerArithmeticError {
+    /// Subtraction would have produced negative voting power.
+    Underflow {
+        /// Left operand (units).
+        minuend: u64,
+        /// Right operand (units).
+        subtrahend: u64,
+    },
+    /// Addition overflowed the unit counter.
+    Overflow,
+}
+
+impl fmt::Display for PowerArithmeticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerArithmeticError::Underflow {
+                minuend,
+                subtrahend,
+            } => write!(
+                f,
+                "voting power underflow: {minuend} units minus {subtrahend} units"
+            ),
+            PowerArithmeticError::Overflow => write!(f, "voting power overflow"),
+        }
+    }
+}
+
+impl std::error::Error for PowerArithmeticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error_traits<E: std::error::Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn errors_implement_std_error_send_sync() {
+        assert_error_traits::<ParseHexError>();
+        assert_error_traits::<PowerArithmeticError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let msg = ParseHexError::OddLength { length: 3 }.to_string();
+        assert!(msg.starts_with("hex string"));
+        let msg = PowerArithmeticError::Underflow {
+            minuend: 1,
+            subtrahend: 2,
+        }
+        .to_string();
+        assert!(msg.contains("underflow"));
+    }
+}

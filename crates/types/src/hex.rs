@@ -1,0 +1,110 @@
+//! Minimal hex encoding/decoding (no external dependency).
+
+use crate::error::ParseHexError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fi_types::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+#[must_use]
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper or lower case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError::OddLength`] for odd-length input and
+/// [`ParseHexError::InvalidChar`] for non-hex characters.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fi_types::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(ParseHexError::OddLength { length: s.len() });
+    }
+    let nibble = |c: char, index: usize| -> Result<u8, ParseHexError> {
+        c.to_digit(16)
+            .map(|d| d as u8)
+            .ok_or(ParseHexError::InvalidChar { ch: c, index })
+    };
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() != s.len() {
+        // Multi-byte characters can never be valid hex digits.
+        let (index, ch) = s
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii())
+            .expect("non-ascii char exists");
+        return Err(ParseHexError::InvalidChar { ch, index });
+    }
+    let mut out = Vec::with_capacity(chars.len() / 2);
+    for (i, pair) in chars.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_basic() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xff, 0x0a]), "00ff0a");
+    }
+
+    #[test]
+    fn decode_basic() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("00ff0a").unwrap(), vec![0x00, 0xff, 0x0a]);
+    }
+
+    #[test]
+    fn decode_accepts_uppercase() {
+        assert_eq!(decode("ABCDEF").unwrap(), vec![0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert!(matches!(
+            decode("abc"),
+            Err(ParseHexError::OddLength { length: 3 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_char_with_position() {
+        match decode("ab0g") {
+            Err(ParseHexError::InvalidChar { ch: 'g', index: 3 }) => {}
+            other => panic!("unexpected result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_non_ascii() {
+        assert!(decode("abλd").is_err());
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the base types: hashing, hex, power
+//! arithmetic, signatures.
+
+use fi_types::hash::{hash_fields, Sha256};
+use fi_types::{hex, sha256, KeyPair, SimTime, VotingPower};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any split points.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let expect = sha256(&data);
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    /// Hex encode/decode round-trips on arbitrary bytes.
+    #[test]
+    fn hex_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let encoded = hex::encode(&bytes);
+        prop_assert_eq!(encoded.len(), bytes.len() * 2);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), bytes);
+    }
+
+    /// hash_fields is sensitive to field boundaries: moving a byte across a
+    /// boundary changes the digest.
+    #[test]
+    fn hash_fields_boundary_sensitive(
+        a in proptest::collection::vec(any::<u8>(), 1..32),
+        b in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let joined = hash_fields(&[&a, &b]);
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        // Move the last byte of a onto the front of b.
+        let moved = a2.pop().unwrap();
+        b2.insert(0, moved);
+        let shifted = hash_fields(&[&a2, &b2]);
+        prop_assert_ne!(joined, shifted);
+    }
+
+    /// Voting-power arithmetic: split_even conserves and balances.
+    #[test]
+    fn split_even_conserves(total in 0u64..1_000_000, parts in 1usize..500) {
+        let chunks = VotingPower::new(total).split_even(parts);
+        prop_assert_eq!(chunks.len(), parts);
+        let sum: VotingPower = chunks.iter().copied().sum();
+        prop_assert_eq!(sum, VotingPower::new(total));
+        let max = chunks.iter().max().unwrap().as_units();
+        let min = chunks.iter().min().unwrap().as_units();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// share_of is a proper fraction and scaled() round-trips within
+    /// rounding.
+    #[test]
+    fn share_and_scale(units in 0u64..1_000_000, total in 1u64..1_000_000) {
+        let p = VotingPower::new(units.min(total));
+        let t = VotingPower::new(total);
+        let share = p.share_of(t);
+        prop_assert!((0.0..=1.0).contains(&share));
+        let rescaled = t.scaled(share);
+        let diff = rescaled.as_units().abs_diff(p.as_units());
+        prop_assert!(diff <= 1, "{rescaled} vs {p}");
+    }
+
+    /// Signatures verify under their key and fail under any other key or
+    /// message.
+    #[test]
+    fn signature_soundness(seed1 in 0u64..10_000, seed2 in 0u64..10_000, msg in any::<[u8; 16]>(), other in any::<[u8; 16]>()) {
+        let kp = KeyPair::from_seed(seed1);
+        let sig = kp.sign(msg);
+        prop_assert!(kp.public_key().verify(msg, &sig));
+        if msg != other {
+            prop_assert!(!kp.public_key().verify(other, &sig));
+        }
+        if seed1 != seed2 {
+            let stranger = KeyPair::from_seed(seed2);
+            prop_assert!(!stranger.public_key().verify(msg, &sig));
+        }
+    }
+
+    /// SimTime saturating arithmetic never panics and orders correctly.
+    #[test]
+    fn simtime_saturation(a in any::<u64>(), b in any::<u64>()) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        let sum = ta.saturating_add(tb);
+        prop_assert!(sum >= ta && sum >= tb);
+        let diff = ta.saturating_sub(tb);
+        if a >= b {
+            prop_assert_eq!(diff, SimTime::from_micros(a - b));
+        } else {
+            prop_assert_eq!(diff, SimTime::ZERO);
+        }
+    }
+}

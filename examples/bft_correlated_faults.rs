@@ -1,0 +1,93 @@
+//! Correlated-fault injection into a live PBFT cluster (paper §II-C):
+//! the same vulnerability, against a diverse deployment and a monoculture.
+//!
+//! Run with: `cargo run --example bft_correlated_faults`
+
+use fault_independence::fi_bft::harness::{
+    faults_from_vulnerability, run_cluster_with_faults, ClusterConfig,
+};
+use fault_independence::fi_bft::Behavior;
+use fault_independence::prelude::*;
+
+fn run_scenario(name: &str, assignment: &Assignment, vuln: &Vulnerability) {
+    let faults = faults_from_vulnerability(assignment, vuln, Behavior::Equivocate);
+    let config = ClusterConfig::new(assignment.replica_count())
+        .requests(10)
+        .max_time(SimTime::from_secs(20));
+    let report = run_cluster_with_faults(&config, 42, &faults);
+    println!("\nscenario: {name}");
+    println!("  replicas compromised by the vulnerability: {}", faults.len());
+    println!(
+        "  f = {} replicas tolerated",
+        config.quorum_params().f()
+    );
+    println!(
+        "  safety:   {}",
+        if report.safety.holds() {
+            "held".to_string()
+        } else {
+            format!("VIOLATED ({} forks)", report.safety.violations().len())
+        }
+    );
+    println!(
+        "  liveness: {}/{} requests executed",
+        report.liveness.executed_requests, report.liveness.expected_requests
+    );
+    println!("  messages: {}", report.messages_sent);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = ConfigurationSpace::cartesian(&[catalog::operating_systems()[..4].to_vec()])?;
+    let os = &catalog::operating_systems()[0];
+    let vuln = Vulnerability::new(
+        VulnId::new(0),
+        "CVE-2038-0002 (popular OS)",
+        ComponentSelector::product(os.kind(), os.name()),
+        Severity::Critical,
+    )
+    .with_window(SimTime::from_millis(1), SimTime::from_secs(3600));
+
+    // Diverse: 4 replicas round-robin over 4 OSes -> 1 replica affected (= f).
+    let diverse = Assignment::round_robin(&space, 4, VotingPower::new(100))?;
+    run_scenario("diverse (round-robin over 4 OSes)", &diverse, &vuln);
+
+    // Near-monoculture: replicas 0 and 1 share the vulnerable OS (> f).
+    let near_mono = Assignment::new(
+        space.clone(),
+        vec![
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(0),
+                config: 0,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(1),
+                config: 0,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(2),
+                config: 1,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(3),
+                config: 2,
+                power: VotingPower::new(100),
+            },
+        ],
+    )?;
+    run_scenario(
+        "near-monoculture (2 of 4 replicas share the vulnerable OS)",
+        &near_mono,
+        &vuln,
+    );
+
+    println!(
+        "\nconclusion: the identical vulnerability is harmless under the \
+         diverse assignment (1 = f compromised) and fatal under the shared \
+         stack (2 > f compromised) — the paper's fault-independence argument, \
+         reproduced operationally."
+    );
+    Ok(())
+}

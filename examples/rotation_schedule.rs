@@ -1,0 +1,71 @@
+//! Lazarus-style configuration rotation (paper §III-A): bound how long any
+//! replica is exposed on any one stack, without changing the configuration
+//! distribution the entropy measure sees.
+//!
+//! Run with: `cargo run --example rotation_schedule`
+
+use fault_independence::fi_config::window::{exposure_curve, PatchRollout};
+use fault_independence::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = ConfigurationSpace::cartesian(&[catalog::operating_systems()[..4].to_vec()])?;
+    let assignment = Assignment::round_robin(&space, 8, VotingPower::new(100))?;
+    println!(
+        "8 replicas over {} OS configurations, entropy {:.3} bits",
+        space.len(),
+        assignment.entropy_bits()?
+    );
+
+    // A zero-day in OS 0, disclosed at t = 30 min, patched at t = 2 h.
+    let os = &catalog::operating_systems()[0];
+    let mut db = VulnerabilityDb::new();
+    db.add(
+        Vulnerability::new(
+            VulnId::new(0),
+            "CVE-2038-0003",
+            ComponentSelector::product(os.kind(), os.name()),
+            Severity::Critical,
+        )
+        .with_window(SimTime::from_secs(1_800), SimTime::from_secs(7_200)),
+    );
+
+    // Hourly rotation, stride 1.
+    let planner = RotationPlanner::new(SimTime::from_secs(3_600), 1);
+    let horizon = SimTime::from_secs(4 * 3_600);
+    let steps = planner.plan(&assignment, horizon);
+    println!(
+        "rotation plan: {} migrations over {} (max per-stack exposure {})",
+        steps.len(),
+        horizon,
+        planner.max_exposure()
+    );
+
+    // Compare exposure with and without rotation, sampled every 15 min.
+    let times: Vec<SimTime> = (0..=16).map(|i| SimTime::from_secs(i * 900)).collect();
+    let rollout = PatchRollout::instant();
+
+    println!("\n{:>8} {:>16} {:>16}", "t", "static exposure", "rotated exposure");
+    let mut rotated = assignment.clone();
+    let mut applied = 0usize;
+    for &t in &times {
+        applied += RotationPlanner::apply_due(&mut rotated, &steps[applied..], t)?;
+        let static_exposed = exposure_curve(&assignment, &db, &rollout, &[t])[0].exposed;
+        let rotated_exposed = exposure_curve(&rotated, &db, &rollout, &[t])[0].exposed;
+        println!(
+            "{:>8} {:>16} {:>16}",
+            t.to_string(),
+            static_exposed.to_string(),
+            rotated_exposed.to_string()
+        );
+    }
+
+    println!(
+        "\nreading: the rotated fleet's exposed *set* changes every period \
+         while the entropy ({:.3} bits) never moves — rotation buys freshness \
+         of the attacker's targeting information, not distributional \
+         diversity. Combined with patch rollout it caps how long any one \
+         replica sits in the vulnerable set.",
+        rotated.entropy_bits()?
+    );
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! Integration: the paper's §II-C safety condition checked operationally —
+//! vulnerability database → correlated fault sets → PBFT fault injection →
+//! safety audit, across `fi-config`, `fi-simnet`, `fi-bft`, and the facade.
+
+use fault_independence::fi_bft::harness::{
+    faults_from_vulnerability, run_cluster_with_faults, ClusterConfig,
+};
+use fault_independence::fi_bft::Behavior;
+use fault_independence::prelude::*;
+
+fn os_vulnerability(os_index: usize) -> Vulnerability {
+    let os = &catalog::operating_systems()[os_index];
+    Vulnerability::new(
+        VulnId::new(0),
+        "integration-os-bug",
+        ComponentSelector::product(os.kind(), os.name()),
+        Severity::Critical,
+    )
+    .with_window(SimTime::from_millis(1), SimTime::from_secs(3600))
+}
+
+#[test]
+fn analyzer_predicts_bft_outcome_diverse_vs_monoculture() {
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..4].to_vec()]).unwrap();
+    let vuln = os_vulnerability(0);
+    let mut db = VulnerabilityDb::new();
+    db.add(vuln.clone());
+
+    // Diverse: 1 of 4 replicas affected -> analyzer says safe -> BFT safe.
+    let diverse = Assignment::round_robin(&space, 4, VotingPower::new(100)).unwrap();
+    let analyzer = ResilienceAnalyzer::new(diverse.clone(), db.clone());
+    let prediction = analyzer.analyze_at(SimTime::from_secs(1));
+    assert!(prediction.safety_condition_holds);
+
+    let faults = faults_from_vulnerability(&diverse, &vuln, Behavior::Equivocate);
+    assert_eq!(faults.len(), 1);
+    let report = run_cluster_with_faults(
+        &ClusterConfig::new(4).requests(8).max_time(SimTime::from_secs(30)),
+        3,
+        &faults,
+    );
+    assert!(report.safety.holds());
+    assert!(report.liveness.all_executed(), "{report:?}");
+
+    // Monoculture: all 4 replicas affected -> analyzer predicts violation
+    // -> the cluster live-forks or stalls (here: nothing honest remains, so
+    // the audit trivially holds but liveness for honest clients is gone; we
+    // use a 2-of-4 shared stack to get the observable fork).
+    let shared_two = Assignment::new(
+        space.clone(),
+        vec![
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(0),
+                config: 0,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(1),
+                config: 0,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(2),
+                config: 1,
+                power: VotingPower::new(100),
+            },
+            fault_independence::fi_config::generator::AssignmentEntry {
+                replica: ReplicaId::new(3),
+                config: 2,
+                power: VotingPower::new(100),
+            },
+        ],
+    )
+    .unwrap();
+    let analyzer = ResilienceAnalyzer::new(shared_two.clone(), db);
+    let prediction = analyzer.analyze_at(SimTime::from_secs(1));
+    // 200 of 400 units compromised > f = 133.
+    assert!(!prediction.safety_condition_holds);
+
+    let faults = faults_from_vulnerability(&shared_two, &vuln, Behavior::Equivocate);
+    assert_eq!(faults.len(), 2);
+    let report = run_cluster_with_faults(
+        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(30)),
+        11,
+        &faults,
+    );
+    assert!(
+        !report.safety.holds(),
+        "2 > f = 1 colluding equivocators must fork: {report:?}"
+    );
+}
+
+#[test]
+fn vulnerability_window_gates_the_compromise() {
+    // A vulnerability disclosed long after the workload finishes changes
+    // nothing.
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..2].to_vec()]).unwrap();
+    let assignment = Assignment::round_robin(&space, 4, VotingPower::new(100)).unwrap();
+    let late = Vulnerability::new(
+        VulnId::new(1),
+        "too-late",
+        ComponentSelector::layer(
+            fault_independence::fi_config::ComponentKind::OperatingSystem,
+        ),
+        Severity::Critical,
+    )
+    .with_window(SimTime::from_secs(3_000), SimTime::from_secs(4_000));
+    let faults = faults_from_vulnerability(&assignment, &late, Behavior::Equivocate);
+    // Faults are scheduled at disclosure (t = 3000s), beyond max_time.
+    let report = run_cluster_with_faults(
+        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(10)),
+        5,
+        &faults,
+    );
+    assert!(report.safety.holds());
+    assert!(report.liveness.all_executed());
+}
+
+#[test]
+fn crash_flavor_from_vulnerability_degrades_liveness_not_safety() {
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..2].to_vec()]).unwrap();
+    // 4 replicas over 2 OSes: one OS bug crashes 2 > f = 1.
+    let assignment = Assignment::round_robin(&space, 4, VotingPower::new(100)).unwrap();
+    let vuln = os_vulnerability(0);
+    let faults = faults_from_vulnerability(&assignment, &vuln, Behavior::Crashed);
+    assert_eq!(faults.len(), 2);
+    let report = run_cluster_with_faults(
+        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(8)),
+        7,
+        &faults,
+    );
+    assert!(report.safety.holds());
+    assert!(
+        !report.liveness.all_executed(),
+        "2 crashed replicas of 4 cannot form quorums: {report:?}"
+    );
+}
+
+#[test]
+fn message_overhead_grows_quadratically_with_n() {
+    // The Proposition-3 trade-off's cost side, measured on the real
+    // protocol: messages per request grow ~n^2.
+    let per_request = |n: usize| {
+        let config = ClusterConfig::new(n).requests(5).max_time(SimTime::from_secs(20));
+        let report = run_cluster_with_faults(&config, 9, &[]);
+        assert!(report.liveness.all_executed());
+        report.messages_sent as f64 / 5.0
+    };
+    let small = per_request(4);
+    let large = per_request(10);
+    let ratio = large / small;
+    // (10/4)^2 = 6.25; allow protocol constants to blur it.
+    assert!(
+        ratio > 3.0,
+        "expected superlinear message growth, got {small} -> {large}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration: attested registry → candidates → committee policies →
+//! diversity/resilience comparison, across `fi-attest`, `fi-committee`,
+//! `fi-entropy`, `fi-nakamoto`.
+
+use fault_independence::fi_attest::TwoTierWeights;
+use fault_independence::fi_committee::prelude::*;
+use fault_independence::fi_nakamoto::attack::double_spend_success_probability;
+use fault_independence::fi_types::{ReplicaId, VotingPower};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A candidate pool shaped like a real permissionless system: power-law
+/// stake, clustered configurations, partial attestation.
+fn realistic_pool(n: u64, seed_shift: u64) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            let power = VotingPower::new(10_000 / (i + 1) + 10);
+            let config = match i {
+                0..=9 => (i % 2) as usize,             // whales on 2 stacks
+                _ => 2 + ((i + seed_shift) % 8) as usize, // tail spread over 8
+            };
+            Candidate::new(ReplicaId::new(i), power, config, i % 4 != 3)
+        })
+        .collect()
+}
+
+#[test]
+fn diverse_policies_dominate_stake_policies_on_entropy() {
+    let pool = realistic_pool(50, 0);
+    let k = 12;
+    let stake = top_stake(&pool, k);
+    let greedy = greedy_diverse(&pool, k);
+    let capped = proportional_cap(&pool, k, 0.25);
+
+    assert!(greedy.entropy_bits() > stake.entropy_bits());
+    assert!(capped.entropy_bits() > stake.entropy_bits());
+    assert!(greedy.worst_config_share() < stake.worst_config_share());
+}
+
+#[test]
+fn committee_worst_share_bounds_double_spend_exposure() {
+    // Treat the committee's worst configuration share as the power one
+    // zero-day captures; compare policies through the double-spend lens.
+    let pool = realistic_pool(50, 1);
+    let k = 12;
+    let stake_q = top_stake(&pool, k).worst_config_share();
+    let greedy_q = greedy_diverse(&pool, k).worst_config_share();
+    let p_stake = double_spend_success_probability(stake_q.min(0.999), 6);
+    let p_greedy = double_spend_success_probability(greedy_q.min(0.999), 6);
+    assert!(
+        p_greedy < p_stake,
+        "greedy {greedy_q} -> {p_greedy} vs stake {stake_q} -> {p_stake}"
+    );
+}
+
+#[test]
+fn two_tier_lottery_raises_attested_share_without_killing_entropy() {
+    let pool = realistic_pool(60, 2);
+    let k = 15;
+    let mut rng = StdRng::seed_from_u64(3);
+    let flat = random_weighted(&pool, k, &mut rng);
+    let mut rng = StdRng::seed_from_u64(3);
+    let tiered = two_tier_weighted(&pool, k, TwoTierWeights::new(1.0, 0.2), &mut rng);
+    assert!(tiered.attested_share() >= flat.attested_share());
+    // Entropy does not collapse (within a bit of the flat policy).
+    assert!(tiered.entropy_bits() > flat.entropy_bits() - 1.0);
+}
+
+#[test]
+fn policies_are_stable_across_pool_orderings() {
+    // Shuffling candidate input order must not change deterministic
+    // policies' committees (selection is by value, not by index).
+    let pool = realistic_pool(30, 0);
+    let mut reversed = pool.clone();
+    reversed.reverse();
+    let a = top_stake(&pool, 10);
+    let b = top_stake(&reversed, 10);
+    assert_eq!(a.total_power(), b.total_power());
+    let ga = greedy_diverse(&pool, 10);
+    let gb = greedy_diverse(&reversed, 10);
+    assert_eq!(ga.total_power(), gb.total_power());
+    assert!((ga.entropy_bits() - gb.entropy_bits()).abs() < 1e-9);
+}
+
+#[test]
+fn committee_is_a_valid_voting_power_snapshot() {
+    // The committee's total power is the n_t of the inner consensus
+    // (paper §II-A); check the bridge into quorum arithmetic.
+    let pool = realistic_pool(40, 4);
+    let committee = greedy_diverse(&pool, 13);
+    assert_eq!(committee.len(), 13);
+    let params = fault_independence::fi_bft::QuorumParams::for_n(committee.len()).unwrap();
+    assert_eq!(params.n(), 13);
+    assert_eq!(params.f(), 4);
+    // A single configuration must not cover a quorum of seats for the
+    // committee to tolerate one correlated fault; greedy achieves that
+    // here.
+    let seats_worst_config = committee
+        .members()
+        .iter()
+        .filter(|m| {
+            m.config()
+                == committee
+                    .power_by_config()
+                    .iter()
+                    .max_by_key(|&&(_, p)| p)
+                    .unwrap()
+                    .0
+        })
+        .count();
+    assert!(seats_worst_config <= params.f(), "{seats_worst_config}");
+}

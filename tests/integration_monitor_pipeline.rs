@@ -1,0 +1,134 @@
+//! Integration: attestation devices → quotes → monitor → diversity report
+//! → recommender, across `fi-attest`, `fi-config`, `fi-entropy`, and the
+//! facade.
+
+use fault_independence::fi_attest::{
+    AttestationPolicy, DeviceKind, TrustedDevice, TwoTierWeights, Verifier,
+};
+use fault_independence::prelude::*;
+use fault_independence::fi_types::KeyPair;
+
+struct Fleet {
+    monitor: DiversityMonitor,
+    devices: Vec<TrustedDevice>,
+}
+
+fn fleet(n: u64, weights: TwoTierWeights) -> Fleet {
+    let mut verifier = Verifier::new(AttestationPolicy::discovery());
+    let devices: Vec<TrustedDevice> = (0..n)
+        .map(|i| {
+            let kind = DeviceKind::ALL[(i % 5) as usize];
+            let d = TrustedDevice::new(kind, i);
+            verifier.trust_endorsement(d.endorsement_key());
+            d
+        })
+        .collect();
+    Fleet {
+        monitor: DiversityMonitor::new(verifier, weights),
+        devices,
+    }
+}
+
+fn attest(fleet: &mut Fleet, replica: u64, config: &Configuration, power: u64) {
+    let nonce = fleet.monitor.challenge();
+    let aik = fleet.devices[replica as usize].create_aik("aik");
+    let quote = aik.quote(
+        config.measurement(),
+        nonce,
+        KeyPair::from_seed(replica).public_key(),
+        SimTime::from_secs(1),
+    );
+    fleet
+        .monitor
+        .ingest_quote(
+            ReplicaId::new(replica),
+            &quote,
+            nonce,
+            SimTime::from_secs(1),
+            VotingPower::new(power),
+        )
+        .expect("verified quote accepted");
+}
+
+#[test]
+fn attested_fleet_reports_real_configuration_entropy() {
+    let space = ConfigurationSpace::cartesian(&[
+        catalog::operating_systems()[..4].to_vec(),
+        catalog::crypto_libraries()[..2].to_vec(),
+    ])
+    .unwrap();
+    let assignment = Assignment::round_robin(&space, 16, VotingPower::new(50)).unwrap();
+    let mut fleet = fleet(16, TwoTierWeights::flat());
+    for i in 0..16u64 {
+        let config = assignment.configuration_of(ReplicaId::new(i)).unwrap();
+        attest(&mut fleet, i, config, 50);
+    }
+    let report = fleet.monitor.report(false).unwrap();
+    // 16 replicas round-robin over 8 configurations: kappa-optimal, 3 bits.
+    assert_eq!(report.replicas, 16);
+    assert_eq!(report.kappa, 8);
+    assert!(report.kappa_optimal);
+    assert!((report.entropy_bits - 3.0).abs() < 1e-9);
+    // The monitor's view agrees with the assignment's own entropy.
+    assert!((report.entropy_bits - assignment.entropy_bits().unwrap()).abs() < 1e-9);
+}
+
+#[test]
+fn monitor_report_feeds_recommender_to_optimality() {
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..4].to_vec()]).unwrap();
+    // Skewed assignment: 5 replicas on config 0, one each on 1..3.
+    let mut entries = Vec::new();
+    for i in 0..8u64 {
+        entries.push(fault_independence::fi_config::generator::AssignmentEntry {
+            replica: ReplicaId::new(i),
+            config: if i < 5 { 0 } else { (i - 4) as usize },
+            power: VotingPower::new(100),
+        });
+    }
+    let assignment = Assignment::new(space, entries).unwrap();
+    let before = assignment.entropy_bits().unwrap();
+
+    let plan = Recommender::default().plan(&assignment).unwrap();
+    assert!(!plan.is_empty());
+    let mut fixed = assignment.clone();
+    Recommender::apply(&mut fixed, &plan).unwrap();
+    let after = fixed.entropy_bits().unwrap();
+    assert!(after > before);
+    // 8 replicas over 4 configs can reach exactly 2 bits.
+    assert!((after - 2.0).abs() < 1e-9, "after = {after}");
+}
+
+#[test]
+fn two_tier_weights_discount_unattested_power_end_to_end() {
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..2].to_vec()]).unwrap();
+    let config = space.get(0).unwrap().clone();
+    let mut fleet = fleet(4, TwoTierWeights::new(1.0, 0.25));
+    // Two attested replicas on the same config, two unattested whales.
+    attest(&mut fleet, 0, &config, 100);
+    attest(&mut fleet, 1, &config, 100);
+    fleet
+        .monitor
+        .ingest_unattested(ReplicaId::new(2), VotingPower::new(400));
+    fleet
+        .monitor
+        .ingest_unattested(ReplicaId::new(3), VotingPower::new(400));
+    let report = fleet.monitor.report(true).unwrap();
+    // Unattested raw power 800 is discounted to 200; attested 200 at full
+    // weight: the opaque bucket is half, not 80%.
+    assert_eq!(report.total_effective_power, VotingPower::new(400));
+    assert!((report.worst_configuration_share - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn analyzer_and_monitor_agree_on_worst_share() {
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::crypto_libraries()[..3].to_vec()]).unwrap();
+    let assignment = Assignment::round_robin(&space, 9, VotingPower::new(10)).unwrap();
+    let analyzer = ResilienceAnalyzer::new(assignment.clone(), VulnerabilityDb::new());
+    let ranking = analyzer.exposure_ranking();
+    let dist = assignment.distribution().unwrap();
+    let worst_structural = ranking[0].power.share_of(assignment.total_power());
+    assert!((worst_structural - dist.max_probability()).abs() < 1e-9);
+}

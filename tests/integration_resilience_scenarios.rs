@@ -1,0 +1,148 @@
+//! Integration: end-to-end resilience scenarios the paper's discussion
+//! implies but does not evaluate — network partitions healing under BFT,
+//! and device-family revocation (the SGX.Fail story of §III-A).
+
+use fault_independence::fi_attest::{
+    AttestationPolicy, DeviceKind, TrustedDevice, TwoTierWeights, Verifier,
+};
+use fault_independence::fi_bft::harness::{run_cluster, ClusterConfig};
+use fault_independence::fi_simnet::partition::PartitionWindow;
+use fault_independence::fi_simnet::{NetworkConfig, Partition};
+use fault_independence::prelude::*;
+use fault_independence::fi_types::KeyPair;
+
+#[test]
+fn bft_survives_a_healing_partition() {
+    // A 2/2 split for two seconds: no quorum on either side, so nothing
+    // commits during the partition; after healing, the workload completes
+    // and no fork exists.
+    let network = NetworkConfig::default().partition(PartitionWindow {
+        from: SimTime::from_millis(100),
+        until: SimTime::from_secs(2),
+        partition: Partition::split_at(5, 2), // replicas 0,1 | 2,3 + client
+    });
+    let config = ClusterConfig::new(4)
+        .requests(6)
+        .network(network)
+        .max_time(SimTime::from_secs(30));
+    let report = run_cluster(&config, 77);
+    assert!(report.safety.holds(), "{report:?}");
+    assert!(
+        report.liveness.all_executed(),
+        "requests must complete after the partition heals: {report:?}"
+    );
+}
+
+#[test]
+fn minority_partition_does_not_stall_the_majority() {
+    // Isolating one replica leaves n − 1 = 3 = quorum: progress continues
+    // during the partition.
+    let network = NetworkConfig::default().partition(PartitionWindow {
+        from: SimTime::ZERO,
+        until: SimTime::MAX,
+        partition: Partition::isolate(5, fault_independence::fi_simnet::NodeId::new(3)),
+    });
+    let config = ClusterConfig::new(4)
+        .requests(6)
+        .network(network)
+        .max_time(SimTime::from_secs(20));
+    let report = run_cluster(&config, 78);
+    assert!(report.safety.holds());
+    assert!(report.liveness.all_executed(), "{report:?}");
+}
+
+#[test]
+fn device_family_revocation_sgx_fail_scenario() {
+    // §III-A cites "SoK: SGX.Fail" — a whole device family becomes
+    // untrustworthy. The monitor's policy drops the family; replicas on
+    // that family can no longer attest and fall to the unattested tier,
+    // shifting effective power toward provable configurations.
+    let sgx = TrustedDevice::new(DeviceKind::IntelSgx, 1);
+    let tpm = TrustedDevice::new(DeviceKind::Tpm20, 2);
+
+    // Phase 1: both families trusted.
+    let mut verifier = Verifier::new(AttestationPolicy::discovery());
+    verifier.trust_endorsement(sgx.endorsement_key());
+    verifier.trust_endorsement(tpm.endorsement_key());
+    let mut monitor = DiversityMonitor::new(verifier, TwoTierWeights::new(1.0, 0.25));
+
+    let attest = |monitor: &mut DiversityMonitor, device: &TrustedDevice, id: u64, m: &[u8]| {
+        let nonce = monitor.challenge();
+        let aik = device.create_aik(&format!("aik-{id}"));
+        let quote = aik.quote(
+            fault_independence::fi_types::sha256(m),
+            nonce,
+            KeyPair::from_seed(id).public_key(),
+            SimTime::ZERO,
+        );
+        monitor.ingest_quote(
+            ReplicaId::new(id),
+            &quote,
+            nonce,
+            SimTime::ZERO,
+            VotingPower::new(100),
+        )
+    };
+
+    attest(&mut monitor, &sgx, 0, b"cfg-sgx").unwrap();
+    attest(&mut monitor, &tpm, 1, b"cfg-tpm").unwrap();
+    let before = monitor.report(true).unwrap();
+    assert_eq!(before.configurations, 2);
+    assert_eq!(before.total_effective_power, VotingPower::new(200));
+
+    // Phase 2: SGX.Fail drops. The policy now allows TPMs only.
+    let mut strict = Verifier::new(
+        AttestationPolicy::builder()
+            .allow_device(DeviceKind::Tpm20)
+            .build(),
+    );
+    strict.trust_endorsement(sgx.endorsement_key());
+    strict.trust_endorsement(tpm.endorsement_key());
+    let mut monitor2 = DiversityMonitor::new(strict, TwoTierWeights::new(1.0, 0.25));
+    // The SGX replica's fresh quote is rejected...
+    let err = attest(&mut monitor2, &sgx, 0, b"cfg-sgx").unwrap_err();
+    assert!(err.to_string().contains("device"));
+    // ...so it re-registers unattested at discounted weight.
+    monitor2.ingest_unattested(ReplicaId::new(0), VotingPower::new(100));
+    attest(&mut monitor2, &tpm, 1, b"cfg-tpm").unwrap();
+
+    let after = monitor2.report(true).unwrap();
+    // Effective power: 100 (TPM, full) + 25 (SGX, discounted) = 125;
+    // the attested TPM replica now dominates the distribution.
+    assert_eq!(after.total_effective_power, VotingPower::new(125));
+    assert!(after.worst_configuration_share > 0.79);
+    assert!(
+        monitor2.registry().tier_of(ReplicaId::new(0))
+            == Some(fault_independence::fi_attest::ReplicaTier::Unattested)
+    );
+}
+
+#[test]
+fn recommender_fixes_what_the_analyzer_flags() {
+    // Close the loop: analyzer flags a violation, recommender replans,
+    // analyzer confirms the fix.
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()[..4].to_vec()]).unwrap();
+    let assignment = Assignment::monoculture(&space, 0, 8, VotingPower::new(100)).unwrap();
+    let os = &catalog::operating_systems()[0];
+    let mut db = VulnerabilityDb::new();
+    db.add(Vulnerability::new(
+        VulnId::new(0),
+        "flagged",
+        ComponentSelector::product(os.kind(), os.name()),
+        Severity::Critical,
+    ));
+
+    let analyzer = ResilienceAnalyzer::new(assignment.clone(), db.clone());
+    assert!(!analyzer.analyze_at(SimTime::ZERO).safety_condition_holds);
+
+    let plan = Recommender::default().plan(&assignment).unwrap();
+    let mut fixed = assignment.clone();
+    Recommender::apply(&mut fixed, &plan).unwrap();
+    let analyzer = ResilienceAnalyzer::new(fixed, db);
+    let verdict = analyzer.analyze_at(SimTime::ZERO);
+    assert!(
+        verdict.safety_condition_holds,
+        "recommendation must restore the safety margin: {verdict:?}"
+    );
+}

@@ -1,0 +1,117 @@
+//! Integration: committee selection → weighted quorums → the paper's
+//! voting-power safety condition, across `fi-committee`, `fi-bft`,
+//! `fi-entropy`.
+
+use fault_independence::fi_bft::weighted::{WeightedQuorum, WeightedVoteSet};
+use fault_independence::fi_committee::prelude::*;
+use fault_independence::fi_types::{ReplicaId, VotingPower};
+use std::collections::HashMap;
+
+fn skewed_pool() -> Vec<Candidate> {
+    (0..30u64)
+        .map(|i| {
+            Candidate::new(
+                ReplicaId::new(i),
+                VotingPower::new(3_000 / (i + 1) + 5),
+                (i % 5) as usize,
+                true,
+            )
+        })
+        .collect()
+}
+
+fn weights_of(committee: &Committee) -> HashMap<ReplicaId, VotingPower> {
+    committee
+        .members()
+        .iter()
+        .map(|c| (c.replica(), c.power()))
+        .collect()
+}
+
+#[test]
+fn committee_power_drives_weighted_quorums() {
+    let committee = top_stake(&skewed_pool(), 10);
+    let quorum = WeightedQuorum::for_total(committee.total_power()).unwrap();
+    // The paper's condition in power units: one compromised configuration
+    // must stay within f_power.
+    let worst_config_power = committee
+        .power_by_config()
+        .iter()
+        .map(|&(_, p)| p)
+        .max()
+        .unwrap();
+    // Top-stake concentrates: the worst configuration exceeds what the
+    // weighted quorum tolerates.
+    assert!(
+        !quorum.tolerates(worst_config_power),
+        "top-stake committee should be fragile: worst {worst_config_power} vs f {}",
+        quorum.f_power()
+    );
+
+    // The greedy-diverse committee of the same size is tolerable (or at
+    // least strictly better).
+    let diverse = greedy_diverse(&skewed_pool(), 10);
+    let dq = WeightedQuorum::for_total(diverse.total_power()).unwrap();
+    let diverse_worst = diverse
+        .power_by_config()
+        .iter()
+        .map(|&(_, p)| p)
+        .max()
+        .unwrap();
+    let stake_ratio = worst_config_power.share_of(committee.total_power());
+    let diverse_ratio = diverse_worst.share_of(diverse.total_power());
+    assert!(
+        diverse_ratio < stake_ratio,
+        "diverse {diverse_ratio} !< stake {stake_ratio}"
+    );
+    let _ = dq;
+}
+
+#[test]
+fn weighted_votes_from_a_compromised_configuration_cannot_commit_alone() {
+    let committee = greedy_diverse(&skewed_pool(), 12);
+    let mut votes = WeightedVoteSet::new(weights_of(&committee)).unwrap();
+    // Every member of the single most powerful configuration votes...
+    let worst_config = committee
+        .power_by_config()
+        .iter()
+        .max_by_key(|&&(_, p)| p)
+        .unwrap()
+        .0;
+    for member in committee.members() {
+        if member.config() == worst_config {
+            assert!(votes.vote(member.replica()));
+        }
+    }
+    // ...and cannot reach the weighted quorum by itself.
+    assert!(
+        !votes.complete(),
+        "one configuration reached quorum: {} of {}",
+        votes.accumulated(),
+        votes.quorum().quorum_power()
+    );
+    // Adding the rest of the committee completes it.
+    for member in committee.members() {
+        votes.vote(member.replica());
+    }
+    assert!(votes.complete());
+}
+
+#[test]
+fn weighted_and_count_quorums_agree_on_equal_weights() {
+    // Equal weights: weighted arithmetic must coincide with QuorumParams.
+    let n = 10usize;
+    let weights: HashMap<ReplicaId, VotingPower> = (0..n)
+        .map(|i| (ReplicaId::new(i as u64), VotingPower::new(1)))
+        .collect();
+    let votes = WeightedVoteSet::new(weights).unwrap();
+    let count_params = fault_independence::fi_bft::QuorumParams::for_n(n).unwrap();
+    assert_eq!(
+        votes.quorum().quorum_power().as_units() as usize,
+        count_params.quorum()
+    );
+    assert_eq!(
+        votes.quorum().f_power().as_units() as usize,
+        count_params.f()
+    );
+}
