@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn wrong_measurement_rejected() {
         let c = ConfigCommitment::commit(sha256(b"a"), 1);
-        assert_eq!(c.open(sha256(b"b"), 1), Err(AttestError::CommitmentMismatch));
+        assert_eq!(
+            c.open(sha256(b"b"), 1),
+            Err(AttestError::CommitmentMismatch)
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@ use crate::quote::Quote;
 /// The hardware families the paper names as attestation roots (§III-B):
 /// TPM 2.0 products, Intel SGX, ARM TrustZone, AMD PSP, IBM Secure Service
 /// Container.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DeviceKind {
     /// A discrete TPM 2.0.
     Tpm20,
@@ -68,8 +66,11 @@ impl TrustedDevice {
     /// Manufactures a device of `kind` with identity `seed`.
     #[must_use]
     pub fn new(kind: DeviceKind, seed: u64) -> Self {
-        let endorsement =
-            KeyPair::from_material(&[b"fi-device-ek", kind.label().as_bytes(), &seed.to_be_bytes()]);
+        let endorsement = KeyPair::from_material(&[
+            b"fi-device-ek",
+            kind.label().as_bytes(),
+            &seed.to_be_bytes(),
+        ]);
         TrustedDevice { kind, endorsement }
     }
 

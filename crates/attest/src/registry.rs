@@ -249,7 +249,10 @@ impl AttestedRegistry {
     /// one opaque bucket holding all unattested power. Deterministic order:
     /// measurements sorted, opaque bucket last.
     #[must_use]
-    pub fn measurement_powers(&self, include_unattested_bucket: bool) -> Vec<(Option<Digest>, VotingPower)> {
+    pub fn measurement_powers(
+        &self,
+        include_unattested_bucket: bool,
+    ) -> Vec<(Option<Digest>, VotingPower)> {
         let mut per_measurement: HashMap<Digest, VotingPower> = HashMap::new();
         let mut opaque = VotingPower::ZERO;
         for e in self.entries.values() {
@@ -302,7 +305,9 @@ impl AttestedRegistry {
         &self,
         include_unattested_bucket: bool,
     ) -> Result<f64, fi_entropy::DistributionError> {
-        Ok(self.distribution(include_unattested_bucket)?.shannon_entropy())
+        Ok(self
+            .distribution(include_unattested_bucket)?
+            .shannon_entropy())
     }
 }
 
@@ -342,7 +347,10 @@ mod tests {
         .unwrap();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.tier_of(ReplicaId::new(0)), Some(ReplicaTier::Attested));
-        assert_eq!(reg.measurement_of(ReplicaId::new(0)), Some(sha256(b"cfg-a")));
+        assert_eq!(
+            reg.measurement_of(ReplicaId::new(0)),
+            Some(sha256(b"cfg-a"))
+        );
         assert!(reg.vote_key_bound(ReplicaId::new(0), &quote.vote_key()));
         assert_eq!(
             reg.effective_power_of(ReplicaId::new(0)).unwrap(),
@@ -374,7 +382,10 @@ mod tests {
     fn unattested_weighting_discounts_power() {
         let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
         reg.register_unattested(ReplicaId::new(7), VotingPower::new(100));
-        assert_eq!(reg.tier_of(ReplicaId::new(7)), Some(ReplicaTier::Unattested));
+        assert_eq!(
+            reg.tier_of(ReplicaId::new(7)),
+            Some(ReplicaTier::Unattested)
+        );
         assert_eq!(
             reg.effective_power_of(ReplicaId::new(7)).unwrap(),
             VotingPower::new(50)
@@ -483,7 +494,10 @@ mod tests {
         .unwrap();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.tier_of(ReplicaId::new(0)), Some(ReplicaTier::Attested));
-        assert_eq!(reg.power_of(ReplicaId::new(0)).unwrap(), VotingPower::new(20));
+        assert_eq!(
+            reg.power_of(ReplicaId::new(0)).unwrap(),
+            VotingPower::new(20)
+        );
     }
 
     #[test]

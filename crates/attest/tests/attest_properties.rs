@@ -16,6 +16,10 @@ fn any_device_kind() -> impl Strategy<Value = DeviceKind> {
 }
 
 proptest! {
+    // Pinned case count: the vendored proptest runner derives every case
+    // seed from the test name, so this suite is reproducible bit-for-bit.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// A freshly produced quote always passes signature checks, for any
     /// device kind, seed, nonce, timestamp, and payload.
     #[test]

@@ -23,10 +23,9 @@ use std::env;
 use std::process::ExitCode;
 
 use fi_bench::{
-    run_all, run_committee, run_example1, run_faultinj, run_fig1, run_fig1_full, run_pools,
-    run_ablation, run_prop1, run_prop2, run_prop3_analytic, run_prop3_operational, run_recovery,
-    run_selfish, run_window,
-    Table,
+    run_ablation, run_all, run_committee, run_example1, run_faultinj, run_fig1, run_fig1_full,
+    run_pools, run_prop1, run_prop2, run_prop3_analytic, run_prop3_operational, run_recovery,
+    run_selfish, run_window, Table,
 };
 
 fn print_tables(tables: &[Table], csv: bool) {
@@ -83,10 +82,7 @@ fn main() -> ExitCode {
         "example1" => vec![run_example1()],
         "prop1" => vec![run_prop1()],
         "prop2" => vec![run_prop2()],
-        "prop3" => vec![
-            run_prop3_analytic(4, 8),
-            run_prop3_operational(3, seed),
-        ],
+        "prop3" => vec![run_prop3_analytic(4, 8), run_prop3_operational(3, seed)],
         "faultinj" => vec![run_faultinj(seed)],
         "pools" => vec![run_pools(seed), run_selfish(seed)],
         "committee" => vec![run_committee(seed)],

@@ -99,7 +99,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -135,11 +139,16 @@ fn f6(x: f64) -> String {
 pub fn run_fig1(max_x: usize) -> Table {
     let curve = bitcoin::figure1_curve(max_x).expect("max_x >= 1");
     let mut t = Table::new(
-        format!("E1 / Figure 1: Bitcoin best-case entropy, x = 1..={max_x} (BFT-8 line = 3.000 bits)"),
+        format!(
+            "E1 / Figure 1: Bitcoin best-case entropy, x = 1..={max_x} (BFT-8 line = 3.000 bits)"
+        ),
         &["x", "total_miners", "entropy_bits", "below_bft8"],
     );
     let samples = [1, 2, 5, 10, 20, 50, 101, 200, 300, 500, 700, 1000];
-    for pt in curve.iter().filter(|p| samples.contains(&p.x) && p.x <= max_x) {
+    for pt in curve
+        .iter()
+        .filter(|p| samples.contains(&p.x) && p.x <= max_x)
+    {
         t.push(vec![
             pt.x.to_string(),
             pt.total_miners.to_string(),
@@ -223,7 +232,15 @@ pub fn run_example1() -> Table {
 pub fn run_prop1() -> Table {
     let mut t = Table::new(
         "E3 / Proposition 1: abundance increase on kappa-optimal systems",
-        &["kappa", "omega", "increase", "H_before", "H_after", "relative_unchanged", "holds"],
+        &[
+            "kappa",
+            "omega",
+            "increase",
+            "H_before",
+            "H_after",
+            "relative_unchanged",
+            "holds",
+        ],
     );
     for &(kappa, omega) in &[(4usize, 1u64), (8, 2), (17, 4)] {
         let base = AbundanceVector::uniform(kappa, omega).expect("kappa > 0");
@@ -267,7 +284,14 @@ pub fn run_prop2() -> Table {
     let base: Vec<f64> = bitcoin::top17_units().iter().map(|&u| u as f64).collect();
     let mut t = Table::new(
         "E4 / Proposition 2: more unique-config replicas on the Bitcoin head",
-        &["added", "H_after", "log2(n)", "gain", "head_limited_bound", "holds"],
+        &[
+            "added",
+            "H_after",
+            "log2(n)",
+            "gain",
+            "head_limited_bound",
+            "holds",
+        ],
     );
     for &x in &[0usize, 1, 10, 100, 1000] {
         let dust: Vec<f64> = if x == 0 {
@@ -303,7 +327,13 @@ pub fn run_prop3_analytic(kappa: usize, max_omega: u64) -> Table {
     let rows = proposition3_tradeoff(kappa, max_omega).expect("valid parameters");
     let mut t = Table::new(
         format!("E5a / Proposition 3 (analytic): kappa = {kappa}"),
-        &["omega", "replicas", "operator_share", "vuln_share", "msgs_per_round"],
+        &[
+            "omega",
+            "replicas",
+            "operator_share",
+            "vuln_share",
+            "msgs_per_round",
+        ],
     );
     for r in rows {
         t.push(vec![
@@ -324,7 +354,15 @@ pub fn run_prop3_analytic(kappa: usize, max_omega: u64) -> Table {
 pub fn run_prop3_operational(max_omega: u64, seed: u64) -> Table {
     let mut t = Table::new(
         "E5b / Proposition 3 (operational, kappa = 4): one malicious operator vs omega",
-        &["omega", "n", "f", "safety", "liveness", "messages", "msgs_per_request"],
+        &[
+            "omega",
+            "n",
+            "f",
+            "safety",
+            "liveness",
+            "messages",
+            "msgs_per_request",
+        ],
     );
     for omega in 1..=max_omega {
         let n = 4 * omega as usize;
@@ -342,7 +380,12 @@ pub fn run_prop3_operational(max_omega: u64, seed: u64) -> Table {
             omega.to_string(),
             n.to_string(),
             config.quorum_params().f().to_string(),
-            if report.safety.holds() { "held" } else { "VIOLATED" }.into(),
+            if report.safety.holds() {
+                "held"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
             format!(
                 "{}/{}",
                 report.liveness.executed_requests, report.liveness.expected_requests
@@ -364,8 +407,8 @@ pub fn run_prop3_operational(max_omega: u64, seed: u64) -> Table {
 #[must_use]
 pub fn run_faultinj(seed: u64) -> Table {
     let n = 8usize;
-    let space = ConfigurationSpace::cartesian(&[catalog::operating_systems()])
-        .expect("catalog space");
+    let space =
+        ConfigurationSpace::cartesian(&[catalog::operating_systems()]).expect("catalog space");
     let os = &catalog::operating_systems()[0];
     let vuln = Vulnerability::new(
         VulnId::new(0),
@@ -399,8 +442,8 @@ pub fn run_faultinj(seed: u64) -> Table {
         let assignment = Assignment::new(space.clone(), entries).expect("valid assignment");
         let mut db = VulnerabilityDb::new();
         db.add(vuln.clone());
-        let prediction = ResilienceAnalyzer::new(assignment.clone(), db)
-            .analyze_at(SimTime::from_secs(1));
+        let prediction =
+            ResilienceAnalyzer::new(assignment.clone(), db).analyze_at(SimTime::from_secs(1));
 
         let faults = faults_from_vulnerability(&assignment, &vuln, Behavior::Equivocate);
         let config = ClusterConfig::new(n)
@@ -412,7 +455,12 @@ pub fn run_faultinj(seed: u64) -> Table {
             prediction.sum_compromised.to_string(),
             prediction.f_bound.to_string(),
             prediction.safety_condition_holds.to_string(),
-            if report.safety.holds() { "held" } else { "VIOLATED" }.into(),
+            if report.safety.holds() {
+                "held"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
             format!(
                 "{}/{}",
                 report.liveness.executed_requests, report.liveness.expected_requests
@@ -436,7 +484,13 @@ pub fn run_pools(seed: u64) -> Table {
     let network = VotingPower::new(100_000);
     let mut t = Table::new(
         "E7 / pool compromise: double-spend success at z = 6 (network share from Example 1)",
-        &["scenario", "share", "P_analytic", "P_monte_carlo", "z_for_0.1%"],
+        &[
+            "scenario",
+            "share",
+            "P_analytic",
+            "P_monte_carlo",
+            "z_for_0.1%",
+        ],
     );
     let scenarios: Vec<(String, Vec<usize>)> = vec![
         ("pool #17 (smallest)".into(), vec![16]),
@@ -449,8 +503,7 @@ pub fn run_pools(seed: u64) -> Table {
         let q = compromised_share(&pools, &configs, network);
         let analytic = double_spend_success_probability(q, 6);
         let mc = monte_carlo_double_spend(q, 6, 20_000, seed);
-        let z = confirmations_for_security(q, 1e-3)
-            .map_or("never".to_string(), |z| z.to_string());
+        let z = confirmations_for_security(q, 1e-3).map_or("never".to_string(), |z| z.to_string());
         t.push(vec![name, f6(q), f6(analytic), f6(mc), z]);
     }
     // De-delegated counterfactual.
@@ -464,8 +517,7 @@ pub fn run_pools(seed: u64) -> Table {
         f6(worst),
         f6(double_spend_success_probability(worst, 6)),
         f6(monte_carlo_double_spend(worst, 6, 20_000, seed)),
-        confirmations_for_security(worst, 1e-3)
-            .map_or("never".to_string(), |z| z.to_string()),
+        confirmations_for_security(worst, 1e-3).map_or("never".to_string(), |z| z.to_string()),
     ]);
     t
 }
@@ -511,7 +563,13 @@ pub fn run_committee(seed: u64) -> Table {
     let k = 16;
     let mut t = Table::new(
         format!("E8 / committee selection: k = {k} of 60 power-law candidates"),
-        &["policy", "entropy_bits", "worst_config_share", "attested_share", "total_power"],
+        &[
+            "policy",
+            "entropy_bits",
+            "worst_config_share",
+            "attested_share",
+            "total_power",
+        ],
     );
     let mut describe = |name: &str, committee: &Committee| {
         t.push(vec![
@@ -524,7 +582,10 @@ pub fn run_committee(seed: u64) -> Table {
     };
     describe("top-stake", &top_stake(&candidates, k));
     let mut rng = StdRng::seed_from_u64(seed);
-    describe("stake sortition", &random_weighted(&candidates, k, &mut rng));
+    describe(
+        "stake sortition",
+        &random_weighted(&candidates, k, &mut rng),
+    );
     describe("greedy diverse", &greedy_diverse(&candidates, k));
     describe("seat cap 25%", &proportional_cap(&candidates, k, 0.25));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -582,7 +643,9 @@ pub fn run_window(seed: u64) -> Table {
     );
     let analyzer = ResilienceAnalyzer::new(assignment.clone(), db.clone());
     const STEP_SECS: u64 = 10;
-    let times: Vec<SimTime> = (0..600).map(|i| SimTime::from_secs(i * STEP_SECS)).collect();
+    let times: Vec<SimTime> = (0..600)
+        .map(|i| SimTime::from_secs(i * STEP_SECS))
+        .collect();
 
     let mut t = Table::new(
         "E9 / vulnerability windows: exposure vs patch-adoption latency (total power 1200u)",
@@ -603,15 +666,9 @@ pub fn run_window(seed: u64) -> Table {
         );
         let curve = analyzer.exposure_curve(&rollout, &times);
         let peak = peak_exposure(&curve);
-        let exposed_seconds: u64 = curve
-            .iter()
-            .filter(|p| !p.exposed.is_zero())
-            .count() as u64
-            * STEP_SECS;
-        let power_seconds: u64 = curve
-            .iter()
-            .map(|p| p.exposed.as_units() * STEP_SECS)
-            .sum();
+        let exposed_seconds: u64 =
+            curve.iter().filter(|p| !p.exposed.is_zero()).count() as u64 * STEP_SECS;
+        let power_seconds: u64 = curve.iter().map(|p| p.exposed.as_units() * STEP_SECS).sum();
         t.push(vec![
             latency.to_string(),
             jitter.to_string(),
@@ -657,7 +714,12 @@ pub fn run_ablation(seed: u64) -> Table {
         let report = run_cluster_with_faults(&config, seed, &faults);
         t.push(vec![
             name.into(),
-            if report.safety.holds() { "held" } else { "VIOLATED" }.into(),
+            if report.safety.holds() {
+                "held"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
             format!(
                 "{}/{}",
                 report.liveness.executed_requests, report.liveness.expected_requests

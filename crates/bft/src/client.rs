@@ -120,10 +120,7 @@ impl Client {
         if op != current {
             return;
         }
-        let votes = self
-            .reply_votes
-            .entry((op.counter, result))
-            .or_default();
+        let votes = self.reply_votes.entry((op.counter, result)).or_default();
         votes.insert(from.index());
         if votes.len() >= self.params.weak_quorum() {
             self.completed.push(CompletedRequest {

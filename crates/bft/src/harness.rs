@@ -239,9 +239,8 @@ pub fn run_cluster_with_faults(
     while now < config.max_time {
         now = now.saturating_add(slice).min(config.max_time);
         sim.run_until(now);
-        let all_done = (config.n..config.n + config.clients).all(|i| {
-            matches!(sim.node(NodeId::new(i)), BftNode::Client(c) if c.done())
-        });
+        let all_done = (config.n..config.n + config.clients)
+            .all(|i| matches!(sim.node(NodeId::new(i)), BftNode::Client(c) if c.done()));
         if all_done {
             break;
         }
@@ -361,7 +360,9 @@ mod tests {
 
     #[test]
     fn primary_crash_triggers_view_change_and_recovers() {
-        let config = ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(30));
+        let config = ClusterConfig::new(4)
+            .requests(6)
+            .max_time(SimTime::from_secs(30));
         let faults = vec![ScheduledFault {
             // Before the first request is delivered (1 ms network latency):
             // view 0 can never make progress.
@@ -393,7 +394,9 @@ mod tests {
 
     #[test]
     fn equivocating_primary_is_replaced() {
-        let config = ClusterConfig::new(4).requests(5).max_time(SimTime::from_secs(30));
+        let config = ClusterConfig::new(4)
+            .requests(5)
+            .max_time(SimTime::from_secs(30));
         let faults = vec![ScheduledFault {
             at: SimTime::ZERO,
             replica: 0,
@@ -442,7 +445,8 @@ mod tests {
     fn faults_from_vulnerability_maps_fault_sets() {
         let space =
             ConfigurationSpace::cartesian(&[catalog::operating_systems()[..2].to_vec()]).unwrap();
-        let assignment = fi_config::Assignment::round_robin(&space, 4, VotingPower::new(1)).unwrap();
+        let assignment =
+            fi_config::Assignment::round_robin(&space, 4, VotingPower::new(1)).unwrap();
         let os = &catalog::operating_systems()[0];
         let vuln = Vulnerability::new(
             VulnId::new(0),

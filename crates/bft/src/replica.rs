@@ -253,7 +253,11 @@ impl Replica {
             if i == self.index {
                 continue;
             }
-            let msg = if i % 2 == 0 { good.clone() } else { evil.clone() };
+            let msg = if i % 2 == 0 {
+                good.clone()
+            } else {
+                evil.clone()
+            };
             ctx.send(NodeId::new(i), msg);
         }
     }
@@ -429,7 +433,13 @@ impl Replica {
         self.try_commit(view, seq, digest, ctx);
     }
 
-    fn try_commit(&mut self, view: u64, seq: u64, digest: Digest, ctx: &mut Context<'_, BftMessage>) {
+    fn try_commit(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        ctx: &mut Context<'_, BftMessage>,
+    ) {
         if self.committed.contains_key(&seq) {
             return;
         }
@@ -491,15 +501,15 @@ impl Replica {
     // ------------------------------------------------------------------
 
     fn handle_checkpoint(&mut self, from: usize, seq: u64, state: Digest) {
-        self.checkpoints.entry((seq, state)).or_default().insert(from);
+        self.checkpoints
+            .entry((seq, state))
+            .or_default()
+            .insert(from);
         self.try_stabilize(seq, state);
     }
 
     fn try_stabilize(&mut self, seq: u64, state: Digest) {
-        let votes = self
-            .checkpoints
-            .get(&(seq, state))
-            .map_or(0, BTreeSet::len);
+        let votes = self.checkpoints.get(&(seq, state)).map_or(0, BTreeSet::len);
         if votes < self.params.quorum() || seq <= self.last_stable {
             return;
         }

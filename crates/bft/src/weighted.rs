@@ -241,8 +241,9 @@ mod tests {
     #[test]
     fn empty_or_tiny_vote_sets_rejected() {
         assert!(WeightedVoteSet::new(HashMap::new()).is_none());
-        let tiny: HashMap<ReplicaId, VotingPower> =
-            [(ReplicaId::new(0), VotingPower::new(2))].into_iter().collect();
+        let tiny: HashMap<ReplicaId, VotingPower> = [(ReplicaId::new(0), VotingPower::new(2))]
+            .into_iter()
+            .collect();
         assert!(WeightedVoteSet::new(tiny).is_none());
     }
 }

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn greedy_is_deterministic() {
         let candidates = pool();
-        assert_eq!(greedy_diverse(&candidates, 5), greedy_diverse(&candidates, 5));
+        assert_eq!(
+            greedy_diverse(&candidates, 5),
+            greedy_diverse(&candidates, 5)
+        );
     }
 
     #[test]

@@ -61,14 +61,7 @@ mod tests {
     fn mixed_pool() -> Vec<Candidate> {
         // Equal stakes: 10 attested (configs 0-9), 10 unattested.
         (0..20u64)
-            .map(|i| {
-                Candidate::new(
-                    ReplicaId::new(i),
-                    VotingPower::new(100),
-                    i as usize,
-                    i < 10,
-                )
-            })
+            .map(|i| Candidate::new(ReplicaId::new(i), VotingPower::new(100), i as usize, i < 10))
             .collect()
     }
 
@@ -82,8 +75,7 @@ mod tests {
             let flat = two_tier_weighted(&candidates, 8, TwoTierWeights::flat(), &mut rng);
             attested_flat += flat.members().iter().filter(|c| c.attested()).count();
             let mut rng = StdRng::seed_from_u64(seed);
-            let tiered =
-                two_tier_weighted(&candidates, 8, TwoTierWeights::new(1.0, 0.2), &mut rng);
+            let tiered = two_tier_weighted(&candidates, 8, TwoTierWeights::new(1.0, 0.2), &mut rng);
             attested_tiered += tiered.members().iter().filter(|c| c.attested()).count();
         }
         assert!(
@@ -96,8 +88,7 @@ mod tests {
     fn zero_unattested_weight_excludes_them() {
         let candidates = mixed_pool();
         let mut rng = StdRng::seed_from_u64(5);
-        let committee =
-            two_tier_weighted(&candidates, 10, TwoTierWeights::new(1.0, 0.0), &mut rng);
+        let committee = two_tier_weighted(&candidates, 10, TwoTierWeights::new(1.0, 0.0), &mut rng);
         assert_eq!(committee.len(), 10);
         assert!(committee.members().iter().all(Candidate::attested));
         assert_eq!(committee.attested_share(), 1.0);
@@ -118,8 +109,7 @@ mod tests {
     fn no_duplicate_members() {
         let candidates = mixed_pool();
         let mut rng = StdRng::seed_from_u64(11);
-        let committee =
-            two_tier_weighted(&candidates, 15, TwoTierWeights::default(), &mut rng);
+        let committee = two_tier_weighted(&candidates, 15, TwoTierWeights::default(), &mut rng);
         let mut ids: Vec<_> = committee.members().iter().map(|c| c.replica()).collect();
         ids.sort();
         ids.dedup();

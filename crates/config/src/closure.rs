@@ -55,11 +55,7 @@ impl FaultSet {
 /// replicas whose configuration contains a matching component, if the
 /// vulnerability is inside its exploitability window (empty set otherwise).
 #[must_use]
-pub fn correlated_fault_set(
-    assignment: &Assignment,
-    vuln: &Vulnerability,
-    t: SimTime,
-) -> FaultSet {
+pub fn correlated_fault_set(assignment: &Assignment, vuln: &Vulnerability, t: SimTime) -> FaultSet {
     let mut replicas = Vec::new();
     let mut power = VotingPower::ZERO;
     if vuln.active_at(t) {

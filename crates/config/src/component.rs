@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Ordering is significant only in that it fixes the canonical measurement
 /// order of [`crate::Configuration`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ComponentKind {
     /// Hardware-assisted isolated execution (SGX, TrustZone, SEV-SNP, TPMs;
     /// §III-A "Trusted hardware").

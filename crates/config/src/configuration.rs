@@ -123,9 +123,8 @@ impl Configuration {
     ///
     /// Returns [`ConfigError::MissingComponent`] when absent.
     pub fn require(&self, kind: ComponentKind) -> Result<&Component, ConfigError> {
-        self.component(kind).ok_or(ConfigError::MissingComponent {
-            kind: kind.label(),
-        })
+        self.component(kind)
+            .ok_or(ConfigError::MissingComponent { kind: kind.label() })
     }
 }
 

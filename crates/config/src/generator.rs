@@ -232,20 +232,23 @@ impl Assignment {
     /// The configuration index of `replica`, if assigned.
     #[must_use]
     pub fn config_of(&self, replica: ReplicaId) -> Option<usize> {
-        self.by_replica.get(&replica).map(|&i| self.entries[i].config)
+        self.by_replica
+            .get(&replica)
+            .map(|&i| self.entries[i].config)
     }
 
     /// The configuration of `replica`, if assigned.
     #[must_use]
     pub fn configuration_of(&self, replica: ReplicaId) -> Option<&Configuration> {
-        self.config_of(replica)
-            .and_then(|i| self.space.get(i).ok())
+        self.config_of(replica).and_then(|i| self.space.get(i).ok())
     }
 
     /// The voting power of `replica`, if assigned.
     #[must_use]
     pub fn power_of(&self, replica: ReplicaId) -> Option<VotingPower> {
-        self.by_replica.get(&replica).map(|&i| self.entries[i].power)
+        self.by_replica
+            .get(&replica)
+            .map(|&i| self.entries[i].power)
     }
 
     /// Voting power aggregated per configuration index.

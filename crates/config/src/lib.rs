@@ -70,7 +70,9 @@ pub use vulnerability::{ComponentSelector, Severity, Vulnerability, Vulnerabilit
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use crate::closure::{correlated_fault_set, fault_summary, worst_single_component_exposure};
+    pub use crate::closure::{
+        correlated_fault_set, fault_summary, worst_single_component_exposure,
+    };
     pub use crate::component::{catalog, Component, ComponentKind};
     pub use crate::configuration::{Configuration, ConfigurationBuilder};
     pub use crate::error::ConfigError;

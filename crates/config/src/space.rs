@@ -233,7 +233,10 @@ mod tests {
         space.by_measurement.clear();
         assert_eq!(space.position(&space.get(0).unwrap().measurement()), None);
         space.reindex();
-        assert_eq!(space.position(&space.get(0).unwrap().measurement()), Some(0));
+        assert_eq!(
+            space.position(&space.get(0).unwrap().measurement()),
+            Some(0)
+        );
     }
 
     #[test]

@@ -85,7 +85,12 @@ impl PatchRollout {
     /// Whether `replica` is exploitable through `vuln` at `t` under this
     /// rollout (configuration match *not* included).
     #[must_use]
-    pub fn replica_window_active(&self, replica: ReplicaId, vuln: &Vulnerability, t: SimTime) -> bool {
+    pub fn replica_window_active(
+        &self,
+        replica: ReplicaId,
+        vuln: &Vulnerability,
+        t: SimTime,
+    ) -> bool {
         t >= vuln.disclosed_at() && t < self.effective_end(replica, vuln)
     }
 }
@@ -106,9 +111,10 @@ pub fn exposed_power_at(
             .space()
             .get(entry.config)
             .expect("validated index");
-        let exposed = db.all().iter().any(|v| {
-            v.affects(config) && rollout.replica_window_active(entry.replica, v, t)
-        });
+        let exposed = db
+            .all()
+            .iter()
+            .any(|v| v.affects(config) && rollout.replica_window_active(entry.replica, v, t));
         if exposed {
             total += entry.power;
         }

@@ -2,8 +2,8 @@
 //! determinism, assignment conservation laws, and correlated-fault closure
 //! invariants.
 
-use fi_config::prelude::*;
 use fi_config::generator::AssignmentEntry;
+use fi_config::prelude::*;
 use proptest::prelude::*;
 
 fn small_space(layers: usize) -> ConfigurationSpace {
@@ -18,6 +18,10 @@ fn small_space(layers: usize) -> ConfigurationSpace {
 }
 
 proptest! {
+    // Pinned case count: the vendored proptest runner derives every case
+    // seed from the test name, so this suite is reproducible bit-for-bit.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Configuration measurements are injective over the cartesian space.
     #[test]
     fn measurements_unique(layers in 1usize..=2) {

@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn outside_window_nothing_is_compromised() {
         let analyzer = setup(false);
-        for t in [SimTime::ZERO, SimTime::from_secs(99), SimTime::from_secs(200)] {
+        for t in [
+            SimTime::ZERO,
+            SimTime::from_secs(99),
+            SimTime::from_secs(200),
+        ] {
             let report = analyzer.analyze_at(t);
             assert_eq!(report.active_vulnerabilities, 0);
             assert_eq!(report.sum_compromised, VotingPower::ZERO);

@@ -53,7 +53,10 @@ impl Recommender {
     ///
     /// Returns [`fi_config::ConfigError`] if the assignment carries no
     /// voting power.
-    pub fn plan(&self, assignment: &Assignment) -> Result<Vec<Recommendation>, fi_config::ConfigError> {
+    pub fn plan(
+        &self,
+        assignment: &Assignment,
+    ) -> Result<Vec<Recommendation>, fi_config::ConfigError> {
         let mut working = assignment.clone();
         let mut entropy = working.entropy_bits()?;
         let mut plan = Vec::new();
@@ -143,7 +146,10 @@ mod tests {
         let mut fixed = assignment.clone();
         Recommender::apply(&mut fixed, &plan).unwrap();
         // 8 replicas over 4 configs, equal power: reaches 2 bits.
-        assert!((fixed.entropy_bits().unwrap() - 2.0).abs() < 1e-9, "plan: {plan:?}");
+        assert!(
+            (fixed.entropy_bits().unwrap() - 2.0).abs() < 1e-9,
+            "plan: {plan:?}"
+        );
     }
 
     #[test]

@@ -10,9 +10,21 @@ impl fmt::Display for DiversityReport {
         writeln!(f, "diversity report")?;
         writeln!(f, "  replicas:                 {}", self.replicas)?;
         writeln!(f, "  configurations (kappa):   {}", self.kappa)?;
-        writeln!(f, "  effective power:          {}", self.total_effective_power)?;
-        writeln!(f, "  shannon entropy:          {:.4} bits", self.entropy_bits)?;
-        writeln!(f, "  min-entropy:              {:.4} bits", self.min_entropy_bits)?;
+        writeln!(
+            f,
+            "  effective power:          {}",
+            self.total_effective_power
+        )?;
+        writeln!(
+            f,
+            "  shannon entropy:          {:.4} bits",
+            self.entropy_bits
+        )?;
+        writeln!(
+            f,
+            "  min-entropy:              {:.4} bits",
+            self.min_entropy_bits
+        )?;
         writeln!(
             f,
             "  effective configurations: {:.2}",
@@ -41,7 +53,11 @@ impl fmt::Display for ResilienceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "resilience report at {}", self.at)?;
         writeln!(f, "  total power n_t:          {}", self.total_power)?;
-        writeln!(f, "  active vulnerabilities:   {}", self.active_vulnerabilities)?;
+        writeln!(
+            f,
+            "  active vulnerabilities:   {}",
+            self.active_vulnerabilities
+        )?;
         writeln!(f, "  sum compromised (Σf^i_t): {}", self.sum_compromised)?;
         writeln!(f, "  union compromised:        {}", self.union_compromised)?;
         writeln!(

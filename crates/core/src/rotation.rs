@@ -190,8 +190,7 @@ mod tests {
         let assignment = Assignment::monoculture(&space(5), 0, 1, VotingPower::new(10)).unwrap();
         let p = RotationPlanner::new(SimTime::from_secs(1), 2); // gcd(2,5)=1
         let steps = p.plan(&assignment, SimTime::from_secs(5));
-        let visited: std::collections::HashSet<usize> =
-            steps.iter().map(|s| s.to_config).collect();
+        let visited: std::collections::HashSet<usize> = steps.iter().map(|s| s.to_config).collect();
         assert_eq!(visited.len(), 5);
     }
 
@@ -201,15 +200,16 @@ mod tests {
         let steps = planner().plan(&assignment, SimTime::from_secs(10 * 3600));
         let mut working = assignment.clone();
         let applied =
-            RotationPlanner::apply_due(&mut working, &steps, SimTime::from_secs(2 * 3600))
-                .unwrap();
+            RotationPlanner::apply_due(&mut working, &steps, SimTime::from_secs(2 * 3600)).unwrap();
         assert_eq!(applied, 8, "two rounds of four replicas");
     }
 
     #[test]
     fn single_config_space_needs_no_rotation() {
         let assignment = Assignment::monoculture(&space(1), 0, 4, VotingPower::new(1)).unwrap();
-        assert!(planner().plan(&assignment, SimTime::from_secs(10_000)).is_empty());
+        assert!(planner()
+            .plan(&assignment, SimTime::from_secs(10_000))
+            .is_empty());
     }
 
     #[test]

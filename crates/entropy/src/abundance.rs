@@ -148,7 +148,11 @@ impl AbundanceVector {
     ///
     /// Returns [`DistributionError::DimensionMismatch`] if `index` is out of
     /// range.
-    pub fn increased(&self, index: usize, delta: u64) -> Result<AbundanceVector, DistributionError> {
+    pub fn increased(
+        &self,
+        index: usize,
+        delta: u64,
+    ) -> Result<AbundanceVector, DistributionError> {
         if index >= self.counts.len() {
             return Err(DistributionError::DimensionMismatch {
                 expected: self.counts.len(),
@@ -156,7 +160,9 @@ impl AbundanceVector {
             });
         }
         let mut counts = self.counts.clone();
-        counts[index] = counts[index].checked_add(delta).expect("abundance overflow");
+        counts[index] = counts[index]
+            .checked_add(delta)
+            .expect("abundance overflow");
         Ok(AbundanceVector { counts })
     }
 
@@ -229,16 +235,22 @@ mod tests {
     #[test]
     fn uniform_abundance_detection() {
         assert_eq!(
-            AbundanceVector::new(vec![3, 3, 0, 3]).unwrap().uniform_abundance(),
+            AbundanceVector::new(vec![3, 3, 0, 3])
+                .unwrap()
+                .uniform_abundance(),
             Some(3),
             "zero-count configurations do not break omega-uniformity"
         );
         assert_eq!(
-            AbundanceVector::new(vec![3, 2, 3]).unwrap().uniform_abundance(),
+            AbundanceVector::new(vec![3, 2, 3])
+                .unwrap()
+                .uniform_abundance(),
             None
         );
         assert_eq!(
-            AbundanceVector::new(vec![0, 0]).unwrap().uniform_abundance(),
+            AbundanceVector::new(vec![0, 0])
+                .unwrap()
+                .uniform_abundance(),
             None
         );
     }

@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(DistributionError::Empty.to_string().contains("at least one"));
+        assert!(DistributionError::Empty
+            .to_string()
+            .contains("at least one"));
         assert!(DistributionError::NotNormalized { sum: 0.9 }
             .to_string()
             .contains("0.9"));

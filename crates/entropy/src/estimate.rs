@@ -229,9 +229,10 @@ mod tests {
 
     #[test]
     fn miller_madow_correction_shrinks_with_sample_size() {
-        let small = miller_madow_entropy_bits(&[2, 2]).unwrap() - plugin_entropy_bits(&[2, 2]).unwrap();
-        let large =
-            miller_madow_entropy_bits(&[200, 200]).unwrap() - plugin_entropy_bits(&[200, 200]).unwrap();
+        let small =
+            miller_madow_entropy_bits(&[2, 2]).unwrap() - plugin_entropy_bits(&[2, 2]).unwrap();
+        let large = miller_madow_entropy_bits(&[200, 200]).unwrap()
+            - plugin_entropy_bits(&[200, 200]).unwrap();
         assert!(large < small);
     }
 
@@ -254,7 +255,10 @@ mod tests {
             }
         }
         let est = miller_madow_entropy_bits(&counts).unwrap();
-        assert!((est - truth).abs() < 0.01, "estimate {est} vs truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.01,
+            "estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]

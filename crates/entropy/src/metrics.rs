@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn gini_bounds_and_extremes() {
         assert_eq!(gini_coefficient(&Distribution::uniform(1).unwrap()), 0.0);
-        assert!(close(gini_coefficient(&Distribution::uniform(50).unwrap()), 0.0));
+        assert!(close(
+            gini_coefficient(&Distribution::uniform(50).unwrap()),
+            0.0
+        ));
         let concentrated = Distribution::degenerate(50, 0).unwrap();
         let g = gini_coefficient(&concentrated);
         assert!(g > 0.97 && g < 1.0, "gini = {g}");

@@ -221,7 +221,10 @@ mod tests {
     #[test]
     fn evenness_is_one_for_uniform_and_singletons() {
         assert!(close(evenness(&Distribution::uniform(5).unwrap()), 1.0));
-        assert!(close(evenness(&Distribution::degenerate(3, 0).unwrap()), 1.0));
+        assert!(close(
+            evenness(&Distribution::degenerate(3, 0).unwrap()),
+            1.0
+        ));
         let skewed = Distribution::from_weights(&[9.0, 1.0]).unwrap();
         assert!(evenness(&skewed) < 1.0);
         assert!(evenness(&skewed) > 0.0);

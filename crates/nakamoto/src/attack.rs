@@ -45,8 +45,8 @@ pub fn double_spend_success_probability(q: f64, z: u32) -> f64 {
             // C(z+k-1, k) = C(z+k-2, k-1) * (z+k-1) / k
             binom *= (z + k - 1) as f64 / k as f64;
         }
-        let term = binom * (p.powi(z as i32) * q.powi(k as i32)
-            - q.powi(z as i32) * p.powi(k as i32));
+        let term =
+            binom * (p.powi(z as i32) * q.powi(k as i32) - q.powi(z as i32) * p.powi(k as i32));
         sum += term;
     }
     (1.0 - sum).clamp(0.0, 1.0)

@@ -212,7 +212,9 @@ mod tests {
     use super::*;
 
     fn equal_miners(n: usize, power: u64) -> Vec<Miner> {
-        (0..n).map(|i| Miner::new(i, VotingPower::new(power))).collect()
+        (0..n)
+            .map(|i| Miner::new(i, VotingPower::new(power)))
+            .collect()
     }
 
     #[test]
@@ -249,7 +251,9 @@ mod tests {
                 propagation_delay: SimTime::from_secs(delay_secs),
                 blocks: 3_000,
             };
-            MiningSim::new(equal_miners(8, 10), config, 3).run().fork_rate
+            MiningSim::new(equal_miners(8, 10), config, 3)
+                .run()
+                .fork_rate
         };
         assert!(rate(120) > rate(10));
     }

@@ -150,7 +150,9 @@ where
     fn dispatch_start(&mut self, id: NodeId) {
         // Disjoint field borrows: the node and the context (which holds the
         // RNG) are separate fields of `self`.
-        let Simulation { nodes, rng, now, .. } = self;
+        let Simulation {
+            nodes, rng, now, ..
+        } = self;
         let node_count = nodes.len();
         let mut ctx = Context {
             now: *now,
@@ -165,7 +167,9 @@ where
     }
 
     fn dispatch(&mut self, id: NodeId, kind: EventKind<N::Message>) {
-        let Simulation { nodes, rng, now, .. } = self;
+        let Simulation {
+            nodes, rng, now, ..
+        } = self;
         let node_count = nodes.len();
         let mut ctx = Context {
             now: *now,

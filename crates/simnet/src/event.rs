@@ -57,9 +57,19 @@ pub enum FaultEvent {
 /// What is scheduled to happen.
 #[derive(Debug, Clone)]
 pub(crate) enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, payload: M },
-    Timer { node: NodeId, token: TimerToken },
-    Fault { node: NodeId, fault: FaultEvent },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
+    Fault {
+        node: NodeId,
+        fault: FaultEvent,
+    },
 }
 
 /// A queue entry: an event at a time, with a monotone sequence number as a

@@ -44,7 +44,10 @@ impl NetworkConfig {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
         self.drop_probability = p;
         self
     }

@@ -136,7 +136,12 @@ pub trait Node {
     }
 
     /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Called when a timer set by this node fires.
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Self::Message>) {
@@ -157,7 +162,12 @@ impl<T: Node + ?Sized> Node for Box<T> {
         (**self).on_start(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         (**self).on_message(from, msg, ctx);
     }
 

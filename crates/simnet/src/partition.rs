@@ -42,9 +42,7 @@ impl Partition {
     }
 
     fn group_of(&self, node: NodeId) -> Option<usize> {
-        self.groups
-            .iter()
-            .position(|g| g.contains(&node))
+        self.groups.iter().position(|g| g.contains(&node))
     }
 
     /// Whether `a` can reach `b` under this partition.

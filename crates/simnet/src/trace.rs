@@ -151,6 +151,9 @@ mod tests {
         }
         s.record_dropped();
         s.record_blocked();
-        assert_eq!(s.sent(), s.delivered() + s.dropped() + s.blocked_by_partition());
+        assert_eq!(
+            s.sent(),
+            s.delivered() + s.dropped() + s.blocked_by_partition()
+        );
     }
 }

@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn distinct_seeds_give_distinct_keys() {
-        let keys: Vec<PublicKey> = (0..100).map(|s| KeyPair::from_seed(s).public_key()).collect();
+        let keys: Vec<PublicKey> = (0..100)
+            .map(|s| KeyPair::from_seed(s).public_key())
+            .collect();
         for i in 0..keys.len() {
             for j in i + 1..keys.len() {
                 assert_ne!(keys[i], keys[j]);

@@ -333,10 +333,7 @@ mod tests {
 
     #[test]
     fn hash_fields_is_injective_on_boundaries() {
-        assert_ne!(
-            hash_fields(&[b"ab", b"c"]),
-            hash_fields(&[b"a", b"bc"])
-        );
+        assert_ne!(hash_fields(&[b"ab", b"c"]), hash_fields(&[b"a", b"bc"]));
         assert_ne!(hash_fields(&[b"ab"]), hash_fields(&[b"ab", b""]));
         assert_ne!(hash_fields(&[]), hash_fields(&[b""]));
     }

@@ -293,7 +293,9 @@ mod tests {
 
     #[test]
     fn try_sub_reports_operands() {
-        let err = VotingPower::new(1).try_sub(VotingPower::new(5)).unwrap_err();
+        let err = VotingPower::new(1)
+            .try_sub(VotingPower::new(5))
+            .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains('1') && msg.contains('5'), "message was {msg}");
     }

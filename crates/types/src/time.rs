@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_micros(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_micros(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_sub(SimTime::from_micros(1)),
             SimTime::ZERO

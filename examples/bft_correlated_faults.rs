@@ -16,11 +16,11 @@ fn run_scenario(name: &str, assignment: &Assignment, vuln: &Vulnerability) {
         .max_time(SimTime::from_secs(20));
     let report = run_cluster_with_faults(&config, 42, &faults);
     println!("\nscenario: {name}");
-    println!("  replicas compromised by the vulnerability: {}", faults.len());
     println!(
-        "  f = {} replicas tolerated",
-        config.quorum_params().f()
+        "  replicas compromised by the vulnerability: {}",
+        faults.len()
     );
+    println!("  f = {} replicas tolerated", config.quorum_params().f());
     println!(
         "  safety:   {}",
         if report.safety.holds() {

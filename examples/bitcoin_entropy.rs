@@ -12,8 +12,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pools = bitcoin::example1_distribution();
     println!("Example 1: top-17 Bitcoin mining pools (2023-02-02)");
     println!("  shares (%): {:?}", bitcoin::TOP17_SHARES_PERCENT);
-    println!("  shannon entropy:          {:.4} bits", pools.shannon_entropy());
-    println!("  min-entropy:              {:.4} bits", min_entropy_bits(&pools));
+    println!(
+        "  shannon entropy:          {:.4} bits",
+        pools.shannon_entropy()
+    );
+    println!(
+        "  min-entropy:              {:.4} bits",
+        min_entropy_bits(&pools)
+    );
     println!(
         "  effective configurations: {:.2}",
         effective_configurations(&pools)
@@ -35,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|p| [1, 2, 5, 10, 20, 50, 101, 200, 500, 1000].contains(&p.x))
     {
-        println!("{:>6} {:>8} {:>12.4}", pt.x, pt.total_miners, pt.entropy_bits);
+        println!(
+            "{:>6} {:>8} {:>12.4}",
+            pt.x, pt.total_miners, pt.entropy_bits
+        );
     }
     let max = curve.last().expect("curve is non-empty");
     println!(

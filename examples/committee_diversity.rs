@@ -42,7 +42,10 @@ fn main() {
     describe("top-stake", &top_stake(&candidates, k));
 
     let mut rng = StdRng::seed_from_u64(7);
-    describe("stake sortition", &random_weighted(&candidates, k, &mut rng));
+    describe(
+        "stake sortition",
+        &random_weighted(&candidates, k, &mut rng),
+    );
 
     describe("greedy diverse", &greedy_diverse(&candidates, k));
 

@@ -7,9 +7,7 @@
 use fault_independence::fi_nakamoto::attack::{
     confirmations_for_security, double_spend_success_probability,
 };
-use fault_independence::fi_nakamoto::pool::{
-    bitcoin_pools_2023, compromised_share, dedelegate,
-};
+use fault_independence::fi_nakamoto::pool::{bitcoin_pools_2023, compromised_share, dedelegate};
 use fault_independence::fi_types::VotingPower;
 
 fn main() {

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    realistic near-monoculture), equal voting power.
     let mut entries = Vec::new();
     for i in 0..12u64 {
-        let config = if i < 8 { (i % 2) as usize } else { (i % 8) as usize };
+        let config = if i < 8 {
+            (i % 2) as usize
+        } else {
+            (i % 8) as usize
+        };
         entries.push(fi_config::generator::AssignmentEntry {
             replica: ReplicaId::new(i),
             config,

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let times: Vec<SimTime> = (0..=16).map(|i| SimTime::from_secs(i * 900)).collect();
     let rollout = PatchRollout::instant();
 
-    println!("\n{:>8} {:>16} {:>16}", "t", "static exposure", "rotated exposure");
+    println!(
+        "\n{:>8} {:>16} {:>16}",
+        "t", "static exposure", "rotated exposure"
+    );
     let mut rotated = assignment.clone();
     let mut applied = 0usize;
     for &t in &times {

@@ -36,7 +36,9 @@ fn analyzer_predicts_bft_outcome_diverse_vs_monoculture() {
     let faults = faults_from_vulnerability(&diverse, &vuln, Behavior::Equivocate);
     assert_eq!(faults.len(), 1);
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(4).requests(8).max_time(SimTime::from_secs(30)),
+        &ClusterConfig::new(4)
+            .requests(8)
+            .max_time(SimTime::from_secs(30)),
         3,
         &faults,
     );
@@ -81,7 +83,9 @@ fn analyzer_predicts_bft_outcome_diverse_vs_monoculture() {
     let faults = faults_from_vulnerability(&shared_two, &vuln, Behavior::Equivocate);
     assert_eq!(faults.len(), 2);
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(30)),
+        &ClusterConfig::new(4)
+            .requests(6)
+            .max_time(SimTime::from_secs(30)),
         11,
         &faults,
     );
@@ -101,16 +105,16 @@ fn vulnerability_window_gates_the_compromise() {
     let late = Vulnerability::new(
         VulnId::new(1),
         "too-late",
-        ComponentSelector::layer(
-            fault_independence::fi_config::ComponentKind::OperatingSystem,
-        ),
+        ComponentSelector::layer(fault_independence::fi_config::ComponentKind::OperatingSystem),
         Severity::Critical,
     )
     .with_window(SimTime::from_secs(3_000), SimTime::from_secs(4_000));
     let faults = faults_from_vulnerability(&assignment, &late, Behavior::Equivocate);
     // Faults are scheduled at disclosure (t = 3000s), beyond max_time.
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(10)),
+        &ClusterConfig::new(4)
+            .requests(6)
+            .max_time(SimTime::from_secs(10)),
         5,
         &faults,
     );
@@ -128,7 +132,9 @@ fn crash_flavor_from_vulnerability_degrades_liveness_not_safety() {
     let faults = faults_from_vulnerability(&assignment, &vuln, Behavior::Crashed);
     assert_eq!(faults.len(), 2);
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(4).requests(6).max_time(SimTime::from_secs(8)),
+        &ClusterConfig::new(4)
+            .requests(6)
+            .max_time(SimTime::from_secs(8)),
         7,
         &faults,
     );
@@ -144,7 +150,9 @@ fn message_overhead_grows_quadratically_with_n() {
     // The Proposition-3 trade-off's cost side, measured on the real
     // protocol: messages per request grow ~n^2.
     let per_request = |n: usize| {
-        let config = ClusterConfig::new(n).requests(5).max_time(SimTime::from_secs(20));
+        let config = ClusterConfig::new(n)
+            .requests(5)
+            .max_time(SimTime::from_secs(20));
         let report = run_cluster_with_faults(&config, 9, &[]);
         assert!(report.liveness.all_executed());
         report.messages_sent as f64 / 5.0

@@ -16,7 +16,7 @@ fn realistic_pool(n: u64, seed_shift: u64) -> Vec<Candidate> {
         .map(|i| {
             let power = VotingPower::new(10_000 / (i + 1) + 10);
             let config = match i {
-                0..=9 => (i % 2) as usize,             // whales on 2 stacks
+                0..=9 => (i % 2) as usize,                // whales on 2 stacks
                 _ => 2 + ((i + seed_shift) % 8) as usize, // tail spread over 8
             };
             Candidate::new(ReplicaId::new(i), power, config, i % 4 != 3)
@@ -55,15 +55,35 @@ fn committee_worst_share_bounds_double_spend_exposure() {
 
 #[test]
 fn two_tier_lottery_raises_attested_share_without_killing_entropy() {
+    // A single lottery draw can go either way, so compare the two policies
+    // in expectation over a fixed batch of seeds: down-weighting unattested
+    // candidates 5x must raise the mean attested share without collapsing
+    // mean entropy.
     let pool = realistic_pool(60, 2);
     let k = 15;
-    let mut rng = StdRng::seed_from_u64(3);
-    let flat = random_weighted(&pool, k, &mut rng);
-    let mut rng = StdRng::seed_from_u64(3);
-    let tiered = two_tier_weighted(&pool, k, TwoTierWeights::new(1.0, 0.2), &mut rng);
-    assert!(tiered.attested_share() >= flat.attested_share());
-    // Entropy does not collapse (within a bit of the flat policy).
-    assert!(tiered.entropy_bits() > flat.entropy_bits() - 1.0);
+    const SEEDS: u64 = 32;
+    let (mut flat_attested, mut flat_entropy) = (0.0f64, 0.0f64);
+    let (mut tiered_attested, mut tiered_entropy) = (0.0f64, 0.0f64);
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat = random_weighted(&pool, k, &mut rng);
+        flat_attested += flat.attested_share();
+        flat_entropy += flat.entropy_bits();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tiered = two_tier_weighted(&pool, k, TwoTierWeights::new(1.0, 0.2), &mut rng);
+        tiered_attested += tiered.attested_share();
+        tiered_entropy += tiered.entropy_bits();
+    }
+    let n = SEEDS as f64;
+    assert!(
+        tiered_attested / n >= flat_attested / n,
+        "mean attested share: tiered {} < flat {}",
+        tiered_attested / n,
+        flat_attested / n
+    );
+    // Entropy does not collapse (within a bit of the flat policy, on
+    // average).
+    assert!(tiered_entropy / n > flat_entropy / n - 1.0);
 }
 
 #[test]

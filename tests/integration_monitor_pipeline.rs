@@ -5,8 +5,8 @@
 use fault_independence::fi_attest::{
     AttestationPolicy, DeviceKind, TrustedDevice, TwoTierWeights, Verifier,
 };
-use fault_independence::prelude::*;
 use fault_independence::fi_types::KeyPair;
+use fault_independence::prelude::*;
 
 struct Fleet {
     monitor: DiversityMonitor,

@@ -63,7 +63,10 @@ fn monte_carlo_agrees_with_analytic_at_pool_scales() {
     let q = compromised_share(&pools, &[4], NETWORK); // ViaBTC, 8.8%
     let analytic = double_spend_success_probability(q, 3);
     let mc = monte_carlo_double_spend(q, 3, 40_000, 123);
-    assert!((analytic - mc).abs() < 0.01, "analytic {analytic} vs mc {mc}");
+    assert!(
+        (analytic - mc).abs() < 0.01,
+        "analytic {analytic} vs mc {mc}"
+    );
 }
 
 #[test]

@@ -56,7 +56,9 @@ fn proposition3_abundance_helps_against_operators_not_vulnerabilities() {
     // Malicious-operator share falls as 1/(kappa*omega)...
     assert!((rows[7].operator_share - 1.0 / 32.0).abs() < 1e-12);
     // ...while the vulnerability share is pinned at 1/kappa.
-    assert!(rows.iter().all(|r| (r.vulnerability_share - 0.25).abs() < 1e-12));
+    assert!(rows
+        .iter()
+        .all(|r| (r.vulnerability_share - 0.25).abs() < 1e-12));
     // ...and message cost grows with (kappa*omega)^2.
     assert_eq!(rows[0].messages_per_round, 16);
     assert_eq!(rows[7].messages_per_round, 1024);
@@ -72,7 +74,9 @@ fn proposition3_operational_omega_absorbs_malicious_operator() {
     // same vulnerability exceeds f. The BFT runs make the distinction
     // operational.
     // omega = 2, one malicious operator (1 replica < f = 2): safe + live.
-    let config = ClusterConfig::new(8).requests(6).max_time(SimTime::from_secs(20));
+    let config = ClusterConfig::new(8)
+        .requests(6)
+        .max_time(SimTime::from_secs(20));
     let one_operator = vec![ScheduledFault {
         at: SimTime::from_millis(1),
         replica: 0,
@@ -108,7 +112,9 @@ fn proposition3_operational_omega_absorbs_malicious_operator() {
         })
         .collect();
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(8).requests(6).max_time(SimTime::from_secs(20)),
+        &ClusterConfig::new(8)
+            .requests(6)
+            .max_time(SimTime::from_secs(20)),
         23,
         &three,
     );
@@ -125,7 +131,9 @@ fn proposition3_operational_omega_absorbs_malicious_operator() {
         })
         .collect();
     let report = run_cluster_with_faults(
-        &ClusterConfig::new(8).requests(6).max_time(SimTime::from_secs(20)),
+        &ClusterConfig::new(8)
+            .requests(6)
+            .max_time(SimTime::from_secs(20)),
         23,
         &four,
     );

@@ -8,8 +8,8 @@ use fault_independence::fi_attest::{
 use fault_independence::fi_bft::harness::{run_cluster, ClusterConfig};
 use fault_independence::fi_simnet::partition::PartitionWindow;
 use fault_independence::fi_simnet::{NetworkConfig, Partition};
-use fault_independence::prelude::*;
 use fault_independence::fi_types::KeyPair;
+use fault_independence::prelude::*;
 
 #[test]
 fn bft_survives_a_healing_partition() {

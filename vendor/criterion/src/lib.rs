@@ -1,0 +1,232 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the API the `fi-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — with a much lighter
+//! measurement loop: each benchmark is timed over a fixed wall-clock budget
+//! and reported as mean ns/iter on stdout. No statistics, plots, or
+//! baselines.
+//!
+//! Under `cargo test` (which builds `harness = false` bench targets and
+//! runs them with `--test`), every benchmark body executes exactly once so
+//! the bench code stays covered without burning CI time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a [`Criterion`] run executes benchmark bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: time each body over a small budget and report.
+    Measure,
+    /// `cargo test` (`--test` flag): run each body once, report nothing.
+    Smoke,
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test` when
+        // running `cargo test`; anything else is a real bench run.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Measure },
+        }
+    }
+}
+
+impl Criterion {
+    /// Time `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group (`group.finish()` when done).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Time `f` under `group/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.mode, &label, &mut f);
+        self
+    }
+
+    /// Time `f(bencher, input)` under `group/id`.
+    pub fn bench_with_input<I, F, T>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+        T: ?Sized,
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.mode, &label, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("shannon", 1000)` renders as `shannon/1000`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`-style methods.
+pub trait IntoBenchmarkId {
+    /// Render as the display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// (iterations, total elapsed) accumulated by `iter`.
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record mean time per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.measurement = Some((1, Duration::ZERO));
+            }
+            Mode::Measure => {
+                // Warm up once, then run until the budget elapses.
+                black_box(routine());
+                let budget = Duration::from_millis(200);
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.measurement = Some((iters.max(1), start.elapsed()));
+            }
+        }
+    }
+}
+
+fn run_one<F>(mode: Mode, label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode,
+        measurement: None,
+    };
+    f(&mut bencher);
+    if mode == Mode::Measure {
+        match bencher.measurement {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench: {label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench: {label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! The deterministic case runner behind `proptest!`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The RNG all strategies draw from.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 to keep CI fast; suites
+    /// can override per-block with `#![proptest_config(...)]`.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass. `Reject` discards the case (`prop_assume!`);
+/// `Fail` fails the whole test.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Case discarded; carries the failed assumption.
+    Reject(String),
+    /// Case failed; carries the failure message.
+    Fail(String),
+}
+
+/// What a single case returns: `Ok` to count it, `Err` to discard or fail.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to turn a test's module path + name into a stable seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Run `config.cases` accepted cases of `test` over values drawn from
+/// `strategy`. Each case's RNG is seeded from the test name and case index,
+/// so a failure report (`name`, case `k`) is sufficient to reproduce it.
+///
+/// # Panics
+///
+/// Propagates the first failing case's panic (annotated with the case
+/// index and seed), and panics if `prop_assume!` rejects too many cases.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let rejection_budget = config.cases as u64 * 16 + 1024;
+    let mut accepted = 0u32;
+    let mut rejections = 0u64;
+    let mut case = 0u64;
+    while accepted < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Generation runs inside catch_unwind too, so a panicking strategy
+        // (e.g. an exhausted prop_filter) still gets the case/seed report.
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            test(strategy.generate(&mut rng))
+        })) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(cond))) => {
+                rejections += 1;
+                assert!(
+                    rejections <= rejection_budget,
+                    "proptest '{name}': prop_assume!({cond}) rejected {rejections} cases"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest '{name}' failed at case {case} (seed {seed:#018x}): {msg}");
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{name}' failed at case {case} (seed {seed:#018x}); \
+                     the run is deterministic, re-running reproduces it"
+                );
+                resume_unwind(payload);
+            }
+        }
+        case += 1;
+    }
+}

@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace only uses `Serialize`/`Deserialize` in derive position as
+//! wire-format markers; nothing serializes at runtime yet. These derives
+//! accept the same input (including `#[serde(...)]` attributes) and expand
+//! to nothing, so the annotated types compile unchanged without pulling
+//! `syn`/`quote` from the network.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
