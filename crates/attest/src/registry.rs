@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use fi_entropy::Distribution;
+use fi_entropy::{Distribution, EntropyAccumulator};
 use fi_types::{Digest, PublicKey, ReplicaId, SimTime, VotingPower};
 use serde::{Deserialize, Serialize};
 
@@ -112,10 +112,44 @@ struct RegistryEntry {
 /// The registry of replicas known to the diversity monitor: attested
 /// replicas with their verified measurements and bound vote keys, plus
 /// unattested replicas contributing raw power only.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The registry maintains its per-measurement effective-power buckets
+/// *incrementally* through an [`EntropyAccumulator`]: every registration
+/// (and re-registration) updates one bucket in O(1), so the monitoring hot
+/// path — [`entropy_bits`](Self::entropy_bits),
+/// [`total_effective_power`](Self::total_effective_power) — no longer
+/// rescans all entries per query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttestedRegistry {
     entries: HashMap<ReplicaId, RegistryEntry>,
     weights: TwoTierWeights,
+    /// Measurement digest per accumulator slot. Slots whose last member
+    /// left are recycled for the next new measurement, so the tables stay
+    /// proportional to the *live* measurement set, not every digest ever
+    /// seen.
+    digests: Vec<Digest>,
+    /// Reverse index: measurement digest → accumulator slot (live
+    /// measurements only).
+    slot_of: HashMap<Digest, usize>,
+    /// How many registered replicas currently point at each slot. A slot
+    /// with members is a distribution row even at zero effective power.
+    members_per_slot: Vec<usize>,
+    /// Number of slots with at least one member.
+    active_slots: usize,
+    /// Emptied slots available for reuse.
+    free_slots: Vec<usize>,
+    /// Effective attested power per slot.
+    acc: EntropyAccumulator,
+    /// Total effective power of the unattested tier (the opaque bucket).
+    opaque: VotingPower,
+}
+
+/// Registries compare by their entries and weights; the bucket index and
+/// accumulator are derived state.
+impl PartialEq for AttestedRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.weights == other.weights
+    }
 }
 
 impl AttestedRegistry {
@@ -125,7 +159,67 @@ impl AttestedRegistry {
         AttestedRegistry {
             entries: HashMap::new(),
             weights,
+            digests: Vec::new(),
+            slot_of: HashMap::new(),
+            members_per_slot: Vec::new(),
+            active_slots: 0,
+            free_slots: Vec::new(),
+            acc: EntropyAccumulator::new(0),
+            opaque: VotingPower::ZERO,
         }
+    }
+
+    /// Removes `replica`'s contribution from the incremental buckets (if
+    /// registered) ahead of a re-registration.
+    fn unindex(&mut self, replica: ReplicaId) {
+        if let Some(old) = self.entries.remove(&replica) {
+            let effective = old.power.scaled(self.weights.for_tier(old.tier));
+            match old.measurement {
+                Some(m) => {
+                    let slot = self.slot_of[&m];
+                    self.acc.remove(slot, effective.as_units());
+                    self.members_per_slot[slot] -= 1;
+                    if self.members_per_slot[slot] == 0 {
+                        // Last member gone (bucket weight is exactly zero
+                        // again): recycle the slot so tables don't grow
+                        // with every measurement ever attested.
+                        self.active_slots -= 1;
+                        self.slot_of.remove(&m);
+                        self.free_slots.push(slot);
+                    }
+                }
+                None => self.opaque -= effective,
+            }
+        }
+    }
+
+    /// Adds effective attested power to `measurement`'s bucket, creating
+    /// (or recycling) a slot on first sight.
+    fn index_attested(&mut self, measurement: Digest, effective: VotingPower) {
+        let slot = match self.slot_of.get(&measurement) {
+            Some(&slot) => slot,
+            None => {
+                let slot = match self.free_slots.pop() {
+                    Some(slot) => {
+                        self.digests[slot] = measurement;
+                        slot
+                    }
+                    None => {
+                        let slot = self.acc.push_slot();
+                        self.digests.push(measurement);
+                        self.members_per_slot.push(0);
+                        slot
+                    }
+                };
+                self.slot_of.insert(measurement, slot);
+                slot
+            }
+        };
+        if self.members_per_slot[slot] == 0 {
+            self.active_slots += 1;
+        }
+        self.members_per_slot[slot] += 1;
+        self.acc.add(slot, effective.as_units());
     }
 
     /// The tier weights in force.
@@ -151,11 +245,14 @@ impl AttestedRegistry {
         power: VotingPower,
     ) -> Result<(), AttestError> {
         verifier.verify(quote, now, expected_nonce)?;
+        self.unindex(replica);
+        let measurement = quote.measurement();
+        self.index_attested(measurement, power.scaled(self.weights.attested()));
         self.entries.insert(
             replica,
             RegistryEntry {
                 tier: ReplicaTier::Attested,
-                measurement: Some(quote.measurement()),
+                measurement: Some(measurement),
                 vote_key: Some(quote.vote_key()),
                 power,
             },
@@ -165,6 +262,8 @@ impl AttestedRegistry {
 
     /// Registers an unattested replica (power only; configuration opaque).
     pub fn register_unattested(&mut self, replica: ReplicaId, power: VotingPower) {
+        self.unindex(replica);
+        self.opaque += power.scaled(self.weights.unattested());
         self.entries.insert(
             replica,
             RegistryEntry {
@@ -236,41 +335,32 @@ impl AttestedRegistry {
         Ok(e.power.scaled(self.weights.for_tier(e.tier)))
     }
 
-    /// Total effective power across the registry.
+    /// Total effective power across the registry. O(1) — maintained
+    /// incrementally by the registration paths.
     #[must_use]
     pub fn total_effective_power(&self) -> VotingPower {
-        self.entries
-            .values()
-            .map(|e| e.power.scaled(self.weights.for_tier(e.tier)))
-            .sum()
+        VotingPower::new(self.acc.total_weight()) + self.opaque
     }
 
     /// Effective power per distinct attested measurement, plus (optionally)
     /// one opaque bucket holding all unattested power. Deterministic order:
-    /// measurements sorted, opaque bucket last.
+    /// measurements sorted, opaque bucket last. O(m log m) in the number of
+    /// distinct measurements — the per-entry rescan is gone.
     #[must_use]
     pub fn measurement_powers(
         &self,
         include_unattested_bucket: bool,
     ) -> Vec<(Option<Digest>, VotingPower)> {
-        let mut per_measurement: HashMap<Digest, VotingPower> = HashMap::new();
-        let mut opaque = VotingPower::ZERO;
-        for e in self.entries.values() {
-            let effective = e.power.scaled(self.weights.for_tier(e.tier));
-            match e.measurement {
-                Some(m) => {
-                    *per_measurement.entry(m).or_insert(VotingPower::ZERO) += effective;
-                }
-                None => opaque += effective,
-            }
-        }
-        let mut rows: Vec<(Option<Digest>, VotingPower)> = per_measurement
-            .into_iter()
-            .map(|(m, p)| (Some(m), p))
+        let mut rows: Vec<(Option<Digest>, VotingPower)> = self
+            .digests
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| self.members_per_slot[slot] > 0)
+            .map(|(slot, &m)| (Some(m), VotingPower::new(self.acc.weight(slot))))
             .collect();
         rows.sort_by_key(|(m, _)| *m);
-        if include_unattested_bucket && !opaque.is_zero() {
-            rows.push((None, opaque));
+        if include_unattested_bucket && !self.opaque.is_zero() {
+            rows.push((None, self.opaque));
         }
         rows
     }
@@ -298,16 +388,33 @@ impl AttestedRegistry {
 
     /// Shannon entropy (bits) of the attested configuration distribution.
     ///
+    /// O(1): read straight off the maintained [`EntropyAccumulator`]
+    /// (`H = log2 W − S/W`), with the opaque unattested bucket folded in as
+    /// one hypothetical extra configuration when requested. This is the
+    /// continuous-monitoring fast path; [`distribution`](Self::distribution)
+    /// is only needed for the batch metrics (Rényi, evenness, κ).
+    ///
     /// # Errors
     ///
-    /// As [`distribution`](Self::distribution).
+    /// As [`distribution`](Self::distribution): [`fi_entropy::DistributionError::Empty`]
+    /// with no rows, [`fi_entropy::DistributionError::ZeroTotalWeight`] when
+    /// every row's effective power is zero.
     pub fn entropy_bits(
         &self,
         include_unattested_bucket: bool,
     ) -> Result<f64, fi_entropy::DistributionError> {
-        Ok(self
-            .distribution(include_unattested_bucket)?
-            .shannon_entropy())
+        let opaque_row = include_unattested_bucket && !self.opaque.is_zero();
+        if self.active_slots == 0 && !opaque_row {
+            return Err(fi_entropy::DistributionError::Empty);
+        }
+        if self.acc.total_weight() == 0 && !opaque_row {
+            return Err(fi_entropy::DistributionError::ZeroTotalWeight);
+        }
+        Ok(if opaque_row {
+            self.acc.entropy_with_extra_bucket(self.opaque.as_units())
+        } else {
+            self.acc.entropy_bits()
+        })
     }
 }
 
@@ -451,6 +558,138 @@ mod tests {
         assert!((with_bucket.probabilities()[1] - 0.5).abs() < 1e-12);
         // Entropy rises when the opaque bucket is accounted for.
         assert!(reg.entropy_bits(true).unwrap() > reg.entropy_bits(false).unwrap());
+    }
+
+    #[test]
+    fn reregistration_keeps_incremental_buckets_consistent() {
+        // Replicas re-attest, switch measurements, and change tier; the
+        // maintained buckets must stay equal to a from-scratch rebuild.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        let (quote_a, verifier_a) = verified_quote(1, b"cfg-a");
+        let (quote_b, verifier_b) = verified_quote(2, b"cfg-b");
+        let r0 = ReplicaId::new(0);
+        // Attested on cfg-a, then re-attested on cfg-b with new power.
+        reg.register_attested(
+            r0,
+            &quote_a,
+            &verifier_a,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(40),
+        )
+        .unwrap();
+        reg.register_attested(
+            r0,
+            &quote_b,
+            &verifier_b,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(70),
+        )
+        .unwrap();
+        // A second replica flips attested → unattested.
+        let r1 = ReplicaId::new(1);
+        reg.register_attested(
+            r1,
+            &quote_a,
+            &verifier_a,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(30),
+        )
+        .unwrap();
+        reg.register_unattested(r1, VotingPower::new(30));
+        // And a third flips unattested → attested.
+        let r2 = ReplicaId::new(2);
+        reg.register_unattested(r2, VotingPower::new(20));
+        reg.register_attested(
+            r2,
+            &quote_a,
+            &verifier_a,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(20),
+        )
+        .unwrap();
+
+        // cfg-a holds r2's 20, cfg-b holds r0's 70, opaque holds r1's 15.
+        assert_eq!(
+            reg.measurement_powers(true)
+                .iter()
+                .map(|&(_, p)| p)
+                .collect::<Vec<_>>(),
+            vec![
+                VotingPower::new(20),
+                VotingPower::new(70),
+                VotingPower::new(15)
+            ]
+        );
+        assert_eq!(reg.total_effective_power(), VotingPower::new(105));
+        // O(1) entropy equals the batch distribution's entropy.
+        for include in [false, true] {
+            let fast = reg.entropy_bits(include).unwrap();
+            let batch = reg.distribution(include).unwrap().shannon_entropy();
+            assert!((fast - batch).abs() < 1e-12, "include={include}");
+            assert!(!fast.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn emptied_measurement_bucket_disappears_from_rows() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        let (quote_a, verifier_a) = verified_quote(1, b"cfg-a");
+        let (quote_b, verifier_b) = verified_quote(2, b"cfg-b");
+        reg.register_attested(
+            ReplicaId::new(0),
+            &quote_a,
+            &verifier_a,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(10),
+        )
+        .unwrap();
+        // The only cfg-a member migrates to cfg-b: cfg-a's bucket must not
+        // linger as a phantom zero row.
+        reg.register_attested(
+            ReplicaId::new(0),
+            &quote_b,
+            &verifier_b,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(10),
+        )
+        .unwrap();
+        assert_eq!(reg.distribution(false).unwrap().dimension(), 1);
+        assert_eq!(reg.entropy_bits(false).unwrap(), 0.0);
+        assert_eq!(reg.measurement_powers(false).len(), 1);
+    }
+
+    #[test]
+    fn emptied_slots_are_recycled_not_leaked() {
+        // One replica churning through many distinct measurements must not
+        // grow the registry's bucket tables: each abandoned measurement's
+        // slot is reused for the next one.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        let r0 = ReplicaId::new(0);
+        for i in 0..50u64 {
+            let (quote, verifier) = verified_quote(i + 1, format!("cfg-{i}").as_bytes());
+            reg.register_attested(
+                r0,
+                &quote,
+                &verifier,
+                SimTime::ZERO,
+                None,
+                VotingPower::new(10),
+            )
+            .unwrap();
+        }
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.measurement_powers(false).len(), 1);
+        // Only the live measurement plus at most one recyclable slot exist.
+        assert!(reg.acc.slots() <= 2, "slots leaked: {}", reg.acc.slots());
+        assert_eq!(reg.slot_of.len(), 1);
+        assert_eq!(reg.total_effective_power(), VotingPower::new(10));
+        assert_eq!(reg.entropy_bits(false).unwrap(), 0.0);
     }
 
     #[test]

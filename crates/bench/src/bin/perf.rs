@@ -1,0 +1,298 @@
+//! `perf` — the repo's performance baseline harness.
+//!
+//! Times the three hot paths this workspace optimises — entropy
+//! (batch vs incremental), committee selection (incremental greedy vs the
+//! pre-refactor naive oracle, n ∈ {100, 1k, 10k}), and the Nakamoto
+//! double-spend Monte Carlo — on fixed seeds, prints a human summary, and
+//! writes `BENCH_perf.json` at the repo root so every run leaves a
+//! regression-comparable datapoint.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fi-bench --bin perf            # full baseline
+//! cargo run --release -p fi-bench --bin perf -- --smoke # reduced n (CI)
+//! ```
+//!
+//! Exits non-zero if the incremental greedy's selection ever diverges from
+//! the naive oracle, so CI publishing the artifact doubles as an
+//! equivalence gate.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fi_committee::greedy::greedy_diverse_naive;
+use fi_committee::prelude::*;
+use fi_entropy::{shannon_entropy_bits, Distribution, EntropyAccumulator};
+use fi_nakamoto::attack::{double_spend_success_probability, monte_carlo_double_spend};
+use fi_types::{ReplicaId, VotingPower};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 42;
+
+/// Wall-clock ns per iteration of `f`, averaged over `iters` runs.
+fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn skewed_weights(k: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen_range(1u64..10_000)).collect()
+}
+
+fn pool(n: u64, m: usize, seed: u64) -> Vec<Candidate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Candidate::new(
+                ReplicaId::new(i),
+                VotingPower::new(rng.gen_range(1u64..10_000)),
+                rng.gen_range(0usize..m),
+                i % 3 != 0,
+            )
+        })
+        .collect()
+}
+
+struct EntropyRow {
+    k: usize,
+    batch_ns: f64,
+    incremental_ns: f64,
+}
+
+struct SelectionRow {
+    n: u64,
+    k: usize,
+    m: usize,
+    greedy_ns: f64,
+    naive_ns: f64,
+    identical: bool,
+}
+
+struct MonteCarloRow {
+    q: f64,
+    z: u32,
+    trials: u32,
+    ns: f64,
+    estimate: f64,
+    analytic: f64,
+}
+
+fn bench_entropy(sizes: &[usize]) -> Vec<EntropyRow> {
+    sizes
+        .iter()
+        .map(|&k| {
+            let weights = skewed_weights(k, 7);
+            let dist = Distribution::from_counts(&weights).unwrap();
+            let batch_ns = time_ns(20, || {
+                black_box(shannon_entropy_bits(black_box(&dist)));
+            });
+            // One monitored reassignment: O(1) move + O(1) entropy read,
+            // vs recomputing the whole distribution.
+            let mut acc = EntropyAccumulator::from_weights(&weights);
+            let mut flip = false;
+            let incremental_ns = time_ns(10_000, || {
+                let (from, to) = if flip { (1, 0) } else { (0, 1) };
+                flip = !flip;
+                acc.apply_move(from, to, 1);
+                black_box(acc.entropy_bits());
+            });
+            EntropyRow {
+                k,
+                batch_ns,
+                incremental_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_selection(cases: &[(u64, usize, usize, u32, u32)]) -> Vec<SelectionRow> {
+    cases
+        .iter()
+        .map(|&(n, k, m, fast_iters, naive_iters)| {
+            let candidates = pool(n, m, 9);
+            let greedy_ns = time_ns(fast_iters, || {
+                black_box(greedy_diverse(black_box(&candidates), k));
+            });
+            let naive_ns = time_ns(naive_iters, || {
+                black_box(greedy_diverse_naive(black_box(&candidates), k));
+            });
+            let identical = greedy_diverse(&candidates, k).members()
+                == greedy_diverse_naive(&candidates, k).members();
+            SelectionRow {
+                n,
+                k,
+                m,
+                greedy_ns,
+                naive_ns,
+                identical,
+            }
+        })
+        .collect()
+}
+
+fn bench_monte_carlo(trials: u32) -> Vec<MonteCarloRow> {
+    [(0.1f64, 6u32), (0.3, 6)]
+        .iter()
+        .map(|&(q, z)| {
+            let ns = time_ns(3, || {
+                black_box(monte_carlo_double_spend(q, z, trials, SEED));
+            });
+            MonteCarloRow {
+                q,
+                z,
+                trials,
+                ns,
+                estimate: monte_carlo_double_spend(q, z, trials, SEED),
+                analytic: double_spend_success_probability(q, z),
+            }
+        })
+        .collect()
+}
+
+fn render_json(
+    mode: &str,
+    entropy: &[EntropyRow],
+    selection: &[SelectionRow],
+    monte_carlo: &[MonteCarloRow],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"fi-bench/perf/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"entropy\": [");
+    for (i, r) in entropy.iter().enumerate() {
+        let comma = if i + 1 < entropy.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"k\": {}, \"batch_shannon_ns\": {:.1}, \"incremental_update_ns\": {:.1}}}{comma}",
+            r.k, r.batch_ns, r.incremental_ns
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"selection\": [");
+    for (i, r) in selection.iter().enumerate() {
+        let comma = if i + 1 < selection.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"k\": {}, \"m\": {}, \"greedy_ns\": {:.0}, \"naive_ns\": {:.0}, \
+             \"speedup\": {:.2}, \"identical_to_oracle\": {}}}{comma}",
+            r.n,
+            r.k,
+            r.m,
+            r.greedy_ns,
+            r.naive_ns,
+            r.naive_ns / r.greedy_ns,
+            r.identical
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"monte_carlo\": [");
+    for (i, r) in monte_carlo.iter().enumerate() {
+        let comma = if i + 1 < monte_carlo.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"q\": {}, \"z\": {}, \"trials\": {}, \"ns\": {:.0}, \"estimate\": {:.6}, \
+             \"analytic\": {:.6}}}{comma}",
+            r.q, r.z, r.trials, r.ns, r.estimate, r.analytic
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn repo_root() -> PathBuf {
+    // cargo sets the manifest dir at run time; the workspace root is two
+    // levels up from crates/bench. Fall back to the cwd when run directly.
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|dir| PathBuf::from(dir).join("..").join(".."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+
+    // (n, k, m, fast_iters, naive_iters): the naive oracle is O(n·k·(k+m)),
+    // so it gets fewer iterations at scale.
+    let selection_cases: &[(u64, usize, usize, u32, u32)] = if smoke {
+        &[(100, 32, 16, 20, 5), (1_000, 32, 16, 5, 1)]
+    } else {
+        &[
+            (100, 32, 16, 50, 10),
+            (1_000, 32, 16, 10, 2),
+            (10_000, 100, 64, 3, 1),
+        ]
+    };
+    let entropy_sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mc_trials = if smoke { 20_000 } else { 200_000 };
+
+    println!("fi-bench perf ({mode} mode, seed {SEED})");
+    println!("== entropy ==");
+    let entropy = bench_entropy(entropy_sizes);
+    for r in &entropy {
+        println!(
+            "  k={:>6}: batch shannon {:>12.1} ns/eval | incremental update {:>8.1} ns/op ({:.0}x)",
+            r.k,
+            r.batch_ns,
+            r.incremental_ns,
+            r.batch_ns / r.incremental_ns
+        );
+    }
+
+    println!("== committee selection (greedy vs naive oracle) ==");
+    let selection = bench_selection(selection_cases);
+    let mut all_identical = true;
+    for r in &selection {
+        all_identical &= r.identical;
+        println!(
+            "  n={:>6} k={:>4} m={:>3}: greedy {:>14.0} ns | naive {:>14.0} ns | speedup {:>8.2}x | identical: {}",
+            r.n,
+            r.k,
+            r.m,
+            r.greedy_ns,
+            r.naive_ns,
+            r.naive_ns / r.greedy_ns,
+            r.identical
+        );
+    }
+
+    println!("== nakamoto double-spend monte carlo ==");
+    let monte_carlo = bench_monte_carlo(mc_trials);
+    for r in &monte_carlo {
+        println!(
+            "  q={} z={} trials={}: {:>12.0} ns/run | estimate {:.6} (analytic {:.6})",
+            r.q, r.z, r.trials, r.ns, r.estimate, r.analytic
+        );
+    }
+
+    let json = render_json(mode, &entropy, &selection, &monte_carlo);
+    let path = repo_root().join("BENCH_perf.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !all_identical {
+        eprintln!("FAIL: incremental greedy diverged from the naive oracle");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -32,8 +32,10 @@ pub fn random_weighted(candidates: &[Candidate], k: usize, rng: &mut StdRng) -> 
         .filter(|c| !c.power().is_zero())
         .collect();
     let mut members = Vec::with_capacity(k.min(pool.len()));
+    // Maintained incrementally: each draw removes exactly one candidate's
+    // stake from the lottery, so re-summing the pool per round is wasted.
+    let mut total: u64 = pool.iter().map(|c| c.power().as_units()).sum();
     while members.len() < k && !pool.is_empty() {
-        let total: u64 = pool.iter().map(|c| c.power().as_units()).sum();
         let mut target = rng.gen_range(0..total);
         let mut chosen = pool.len() - 1;
         for (i, c) in pool.iter().enumerate() {
@@ -44,7 +46,9 @@ pub fn random_weighted(candidates: &[Candidate], k: usize, rng: &mut StdRng) -> 
             }
             target -= units;
         }
-        members.push(pool.swap_remove(chosen));
+        let member = pool.swap_remove(chosen);
+        total -= member.power().as_units();
+        members.push(member);
     }
     Committee::new(members)
 }

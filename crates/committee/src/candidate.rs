@@ -1,7 +1,6 @@
 //! Candidates and committees.
 
-use std::collections::HashMap;
-
+use fi_entropy::incremental::weighted_entropy_bits;
 use fi_entropy::Distribution;
 use fi_types::{ReplicaId, VotingPower};
 use serde::{Deserialize, Serialize};
@@ -56,16 +55,59 @@ impl Candidate {
 }
 
 /// A selected committee.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Construction aggregates members once into a sorted-vec bucket map
+/// (configuration index → summed power) and caches the total power and the
+/// power-weighted configuration entropy, so the monitoring accessors
+/// ([`power_by_config`](Self::power_by_config),
+/// [`entropy_bits`](Self::entropy_bits), [`total_power`](Self::total_power),
+/// [`worst_config_share`](Self::worst_config_share)) are O(1)/O(m) reads
+/// with no hashing or re-derivation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Committee {
     members: Vec<Candidate>,
+    /// Power per configuration index, sorted by index (cache; derived from
+    /// `members`). Zero-power buckets are kept so the distribution's
+    /// dimension reflects every configuration present in the committee.
+    buckets: Vec<(usize, VotingPower)>,
+    /// Total committee power (cache).
+    total: VotingPower,
+    /// Power-weighted configuration entropy in bits (cache).
+    entropy: f64,
+}
+
+/// Committees compare by their member sequence; the bucket/entropy caches
+/// are deterministic functions of it.
+impl PartialEq for Committee {
+    fn eq(&self, other: &Self) -> bool {
+        self.members == other.members
+    }
 }
 
 impl Committee {
-    /// Wraps selected members (order preserved as selected).
+    /// Wraps selected members (order preserved as selected), building the
+    /// per-configuration bucket cache in one sort + merge pass.
     #[must_use]
     pub fn new(members: Vec<Candidate>) -> Self {
-        Committee { members }
+        let mut buckets: Vec<(usize, VotingPower)> =
+            members.iter().map(|m| (m.config, m.power)).collect();
+        buckets.sort_unstable_by_key(|&(config, _)| config);
+        buckets.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 {
+                prev.1 += cur.1;
+                true
+            } else {
+                false
+            }
+        });
+        let total = buckets.iter().map(|&(_, p)| p).sum();
+        let entropy = weighted_entropy_bits(buckets.iter().map(|&(_, p)| p.as_units()));
+        Committee {
+            members,
+            buckets,
+            total,
+            entropy,
+        }
     }
 
     /// The members in selection order.
@@ -87,21 +129,17 @@ impl Committee {
     }
 
     /// Total committee voting power (`n_t` of the committee, §II-A).
+    /// Cached at construction — O(1).
     #[must_use]
     pub fn total_power(&self) -> VotingPower {
-        self.members.iter().map(Candidate::power).sum()
+        self.total
     }
 
-    /// Power aggregated per configuration index, sorted by index.
+    /// Power aggregated per configuration index, sorted by index. Cached at
+    /// construction — no hashing or allocation per call.
     #[must_use]
-    pub fn power_by_config(&self) -> Vec<(usize, VotingPower)> {
-        let mut acc: HashMap<usize, VotingPower> = HashMap::new();
-        for m in &self.members {
-            *acc.entry(m.config).or_insert(VotingPower::ZERO) += m.power;
-        }
-        let mut rows: Vec<(usize, VotingPower)> = acc.into_iter().collect();
-        rows.sort_by_key(|&(c, _)| c);
-        rows
+    pub fn power_by_config(&self) -> &[(usize, VotingPower)] {
+        &self.buckets
     }
 
     /// The committee's power-weighted configuration distribution.
@@ -111,21 +149,15 @@ impl Committee {
     /// Returns a [`fi_entropy::DistributionError`] for an empty or
     /// zero-power committee.
     pub fn distribution(&self) -> Result<Distribution, fi_entropy::DistributionError> {
-        let units: Vec<u64> = self
-            .power_by_config()
-            .iter()
-            .map(|(_, p)| p.as_units())
-            .collect();
+        let units: Vec<u64> = self.buckets.iter().map(|(_, p)| p.as_units()).collect();
         Distribution::from_counts(&units)
     }
 
     /// Shannon entropy (bits) of the configuration distribution; `0.0` for
-    /// degenerate committees.
+    /// degenerate committees. Cached at construction — O(1).
     #[must_use]
     pub fn entropy_bits(&self) -> f64 {
-        self.distribution()
-            .map(|d| d.shannon_entropy())
-            .unwrap_or(0.0)
+        self.entropy
     }
 
     /// The worst single-configuration share — the voting power one
@@ -133,10 +165,9 @@ impl Committee {
     /// bounded by `2^{−H_∞}`).
     #[must_use]
     pub fn worst_config_share(&self) -> f64 {
-        let total = self.total_power();
-        self.power_by_config()
+        self.buckets
             .iter()
-            .map(|(_, p)| p.share_of(total))
+            .map(|&(_, p)| p.share_of(self.total))
             .fold(0.0, f64::max)
     }
 
@@ -155,9 +186,7 @@ impl Committee {
 
 impl FromIterator<Candidate> for Committee {
     fn from_iter<I: IntoIterator<Item = Candidate>>(iter: I) -> Self {
-        Committee {
-            members: iter.into_iter().collect(),
-        }
+        Committee::new(iter.into_iter().collect())
     }
 }
 
@@ -203,6 +232,37 @@ mod tests {
         assert_eq!(d.dimension(), 2);
         let expect = -(0.8f64 * 0.8f64.log2() + 0.2 * 0.2f64.log2());
         assert!((committee.entropy_bits() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_aggregates_match_recomputation() {
+        // The caches are built once at construction; they must agree with a
+        // from-scratch recomputation over the members.
+        let committee: Committee = candidates().into_iter().collect();
+        let total: VotingPower = committee.members().iter().map(Candidate::power).sum();
+        assert_eq!(committee.total_power(), total);
+        let d = committee.distribution().unwrap();
+        assert!((committee.entropy_bits() - d.shannon_entropy()).abs() < 1e-12);
+        // Buckets are sorted by config index with no duplicates.
+        for w in committee.power_by_config().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn zero_power_members_keep_their_bucket() {
+        // A zero-power candidate still contributes a configuration bucket
+        // (dimension), matching the pre-cache HashMap behavior.
+        let committee = Committee::new(vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::new(10), 0, true),
+            Candidate::new(ReplicaId::new(1), VotingPower::ZERO, 5, true),
+        ]);
+        assert_eq!(
+            committee.power_by_config(),
+            vec![(0, VotingPower::new(10)), (5, VotingPower::ZERO)]
+        );
+        assert_eq!(committee.distribution().unwrap().dimension(), 2);
+        assert_eq!(committee.entropy_bits(), 0.0);
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Per-configuration seat capping.
 
-use std::collections::HashMap;
-
 use crate::candidate::{Candidate, Committee};
 
 /// Selects up to `k` members in stake order, but allows each configuration
@@ -39,15 +37,21 @@ pub fn proportional_cap(candidates: &[Candidate], k: usize, cap_share: f64) -> C
             .then_with(|| a.replica().cmp(&b.replica()))
     });
 
-    let mut seats: HashMap<usize, usize> = HashMap::new();
+    // Dense seat counters via a sorted slot map — no hashing in the loop.
+    let mut configs: Vec<usize> = sorted.iter().map(Candidate::config).collect();
+    configs.sort_unstable();
+    configs.dedup();
+    let mut seats = vec![0usize; configs.len()];
     let mut members: Vec<Candidate> = Vec::with_capacity(k.min(sorted.len()));
     for cand in sorted {
         if members.len() >= k {
             break;
         }
-        let used = seats.entry(cand.config()).or_insert(0);
-        if *used < max_seats {
-            *used += 1;
+        let slot = configs
+            .binary_search(&cand.config())
+            .expect("every candidate config is in the slot map");
+        if seats[slot] < max_seats {
+            seats[slot] += 1;
             members.push(cand);
         }
     }

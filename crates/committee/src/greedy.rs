@@ -1,4 +1,21 @@
 //! Greedy entropy-maximising selection.
+//!
+//! The selection loop is the paper's headline operation (steering a
+//! committee toward κ-optimal fault independence, Definition 1) and the
+//! workspace's hottest path: a chain re-selects continuously under
+//! rotation. [`greedy_diverse`] therefore evaluates each candidate's
+//! marginal entropy gain in O(1) through an
+//! [`EntropyAccumulator`](fi_entropy::EntropyAccumulator) — the whole
+//! selection is O(n log n + n·k) with a constant number of allocations,
+//! instead of the naive O(n·k·(k+m)) with ~4 heap allocations per trial.
+//! The pre-refactor implementation is kept verbatim as
+//! [`greedy_diverse_naive`], the equivalence oracle for property tests and
+//! the `perf` harness.
+
+use std::collections::HashMap;
+
+use fi_entropy::{Distribution, EntropyAccumulator};
+use fi_types::VotingPower;
 
 use crate::candidate::{Candidate, Committee};
 
@@ -9,9 +26,66 @@ use crate::candidate::{Candidate, Committee};
 ///
 /// This is the constructive counterpart of Definition 1: it steers the
 /// committee toward κ-optimal fault independence as far as the candidate
-/// pool allows.
+/// pool allows. Selection order is identical to [`greedy_diverse_naive`];
+/// only the cost differs.
 #[must_use]
 pub fn greedy_diverse(candidates: &[Candidate], k: usize) -> Committee {
+    // Map the candidates' (possibly sparse) configuration indices to dense
+    // accumulator slots once, up front.
+    let mut configs: Vec<usize> = candidates
+        .iter()
+        .filter(|c| !c.power().is_zero())
+        .map(Candidate::config)
+        .collect();
+    configs.sort_unstable();
+    configs.dedup();
+    let mut remaining: Vec<(Candidate, usize)> = candidates
+        .iter()
+        .filter(|c| !c.power().is_zero())
+        .map(|c| {
+            let slot = configs
+                .binary_search(&c.config())
+                .expect("every remaining config is in the slot map");
+            (*c, slot)
+        })
+        .collect();
+
+    let mut acc = EntropyAccumulator::new(configs.len());
+    let mut members: Vec<Candidate> = Vec::with_capacity(k.min(remaining.len()));
+
+    while members.len() < k && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (cand, slot)) in remaining.iter().enumerate() {
+            // O(1) marginal gain: no clone, no distribution rebuild.
+            let entropy = acc.peek_add(*slot, cand.power().as_units());
+            let better = match best {
+                None => true,
+                Some((best_i, best_h)) => {
+                    entropy > best_h + 1e-12
+                        || ((entropy - best_h).abs() <= 1e-12
+                            && preferred(cand, &remaining[best_i].0))
+                }
+            };
+            if better {
+                best = Some((i, entropy));
+            }
+        }
+        let (idx, _) = best.expect("remaining is non-empty");
+        let (cand, slot) = remaining.swap_remove(idx);
+        acc.add(slot, cand.power().as_units());
+        members.push(cand);
+    }
+    Committee::new(members)
+}
+
+/// The pre-refactor O(n·k·(k+m)) greedy selection, kept verbatim as the
+/// equivalence and performance oracle: it re-aggregates a `HashMap`-backed
+/// distribution and recomputes full Shannon entropy for every candidate in
+/// every round. Property tests assert [`greedy_diverse`] selects the
+/// byte-identical member sequence; the `perf` binary reports the speedup.
+#[doc(hidden)]
+#[must_use]
+pub fn greedy_diverse_naive(candidates: &[Candidate], k: usize) -> Committee {
     let mut remaining: Vec<Candidate> = candidates
         .iter()
         .copied()
@@ -24,7 +98,7 @@ pub fn greedy_diverse(candidates: &[Candidate], k: usize) -> Committee {
         for (i, cand) in remaining.iter().enumerate() {
             let mut trial = members.clone();
             trial.push(*cand);
-            let entropy = Committee::new(trial).entropy_bits();
+            let entropy = naive_entropy_bits(&trial);
             let better = match best {
                 None => true,
                 Some((best_i, best_h)) => {
@@ -41,6 +115,21 @@ pub fn greedy_diverse(candidates: &[Candidate], k: usize) -> Committee {
         members.push(remaining.swap_remove(idx));
     }
     Committee::new(members)
+}
+
+/// The seed implementation's per-trial evaluation: aggregate a `HashMap`,
+/// sort it, build a [`Distribution`], compute Shannon entropy.
+fn naive_entropy_bits(members: &[Candidate]) -> f64 {
+    let mut acc: HashMap<usize, VotingPower> = HashMap::new();
+    for m in members {
+        *acc.entry(m.config()).or_insert(VotingPower::ZERO) += m.power();
+    }
+    let mut rows: Vec<(usize, VotingPower)> = acc.into_iter().collect();
+    rows.sort_by_key(|&(c, _)| c);
+    let units: Vec<u64> = rows.iter().map(|&(_, p)| p.as_units()).collect();
+    Distribution::from_counts(&units)
+        .map(|d| d.shannon_entropy())
+        .unwrap_or(0.0)
 }
 
 fn preferred(a: &Candidate, b: &Candidate) -> bool {
@@ -124,5 +213,35 @@ mod tests {
         let committee = greedy_diverse(&candidates, 2);
         assert_eq!(committee.len(), 1);
         assert_eq!(committee.members()[0].replica(), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn incremental_matches_naive_oracle_on_fixture_pools() {
+        let candidates = pool();
+        for k in 0..=10 {
+            let fast = greedy_diverse(&candidates, k);
+            let naive = greedy_diverse_naive(&candidates, k);
+            assert_eq!(fast.members(), naive.members(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_oracle_on_sparse_configs() {
+        // Sparse, high configuration indices exercise the slot map.
+        let candidates: Vec<Candidate> = (0..24u64)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(1 + (i * 37) % 500),
+                    ((i * i) as usize % 7) * 1_000_003,
+                    true,
+                )
+            })
+            .collect();
+        for k in [1, 5, 12, 24] {
+            let fast = greedy_diverse(&candidates, k);
+            let naive = greedy_diverse_naive(&candidates, k);
+            assert_eq!(fast.members(), naive.members(), "k = {k}");
+        }
     }
 }

@@ -36,8 +36,10 @@ pub fn two_tier_weighted(
         .collect();
 
     let mut members = Vec::with_capacity(k.min(pool.len()));
+    // The ticket total shrinks by exactly the removed ticket each draw, so
+    // maintain it incrementally instead of re-summing the pool per round.
+    let mut total: u64 = pool.iter().map(|&(_, t)| t).sum();
     while members.len() < k && !pool.is_empty() {
-        let total: u64 = pool.iter().map(|&(_, t)| t).sum();
         let mut target = rng.gen_range(0..total);
         let mut chosen = pool.len() - 1;
         for (i, &(_, ticket)) in pool.iter().enumerate() {
@@ -47,7 +49,9 @@ pub fn two_tier_weighted(
             }
             target -= ticket;
         }
-        members.push(pool.swap_remove(chosen).0);
+        let (member, ticket) = pool.swap_remove(chosen);
+        total -= ticket;
+        members.push(member);
     }
     Committee::new(members)
 }

@@ -126,4 +126,33 @@ proptest! {
             prop_assert!(stake.total_power() >= sortition.total_power());
         }
     }
+
+    /// The O(1)-marginal-gain greedy selects the byte-identical member
+    /// sequence as the pre-refactor naive oracle on every pool.
+    #[test]
+    fn greedy_matches_naive_oracle(pool in candidate_pool(), k in 1usize..20) {
+        let fast = greedy_diverse(&pool, k);
+        let naive = fi_committee::greedy::greedy_diverse_naive(&pool, k);
+        prop_assert_eq!(fast.members(), naive.members());
+        // Equal selections imply equal cached aggregates.
+        prop_assert_eq!(fast.total_power(), naive.total_power());
+        prop_assert_eq!(
+            fast.entropy_bits().to_bits(),
+            naive.entropy_bits().to_bits()
+        );
+    }
+
+    /// Committee caches agree with from-scratch recomputation.
+    #[test]
+    fn committee_caches_are_consistent(pool in candidate_pool(), k in 1usize..20) {
+        let committee = top_stake(&pool, k);
+        let total: fi_types::VotingPower =
+            committee.members().iter().map(Candidate::power).sum();
+        prop_assert_eq!(committee.total_power(), total);
+        if let Ok(d) = committee.distribution() {
+            prop_assert!((committee.entropy_bits() - d.shannon_entropy()).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(committee.entropy_bits(), 0.0);
+        }
+    }
 }

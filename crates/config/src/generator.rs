@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use fi_entropy::{AbundanceVector, Distribution};
+use fi_entropy::{AbundanceVector, Distribution, EntropyAccumulator};
 use fi_types::{ReplicaId, VotingPower};
 use rand::distributions::Distribution as RandDistribution;
 use rand::Rng;
@@ -257,6 +257,33 @@ impl Assignment {
         let mut acc = vec![VotingPower::ZERO; self.space.len()];
         for e in &self.entries {
             acc[e.config] += e.power;
+        }
+        acc
+    }
+
+    /// An [`EntropyAccumulator`] seeded with this assignment's
+    /// power-by-config weights: one bucket per configuration of the space.
+    ///
+    /// Build it once, then evaluate reassignments in O(1) with
+    /// `peek_move(from, to, power)` / `apply_move` instead of cloning the
+    /// assignment and recomputing the distribution per trial — this is what
+    /// the diversity recommender's and rotation monitor's hot loops do.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fi_config::prelude::*;
+    /// let space = ConfigurationSpace::cartesian(&[catalog::operating_systems()])?;
+    /// let a = Assignment::round_robin(&space, 16, VotingPower::new(10))?;
+    /// let acc = a.entropy_accumulator();
+    /// assert!((acc.entropy_bits() - a.entropy_bits()?).abs() < 1e-12);
+    /// # Ok::<(), fi_config::ConfigError>(())
+    /// ```
+    #[must_use]
+    pub fn entropy_accumulator(&self) -> EntropyAccumulator {
+        let mut acc = EntropyAccumulator::new(self.space.len());
+        for e in &self.entries {
+            acc.add(e.config, e.power.as_units());
         }
         acc
     }

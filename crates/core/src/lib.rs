@@ -71,7 +71,7 @@ pub use analyzer::{ResilienceAnalyzer, ResilienceReport};
 pub use error::CoreError;
 pub use monitor::{DiversityMonitor, DiversityReport};
 pub use recommend::{Recommendation, Recommender};
-pub use rotation::{RotationPlanner, RotationStep};
+pub use rotation::{RotationEntropyTracker, RotationPlanner, RotationStep};
 
 // Substrate re-exports: downstream users depend on this crate alone.
 pub use fi_attest;
@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::monitor::{DiversityMonitor, DiversityReport};
     pub use crate::recommend::{Recommendation, Recommender};
-    pub use crate::rotation::{RotationPlanner, RotationStep};
+    pub use crate::rotation::{RotationEntropyTracker, RotationPlanner, RotationStep};
     pub use fi_attest::prelude::*;
     pub use fi_config::prelude::*;
     pub use fi_entropy::{AbundanceVector, Distribution};

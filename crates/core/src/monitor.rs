@@ -75,6 +75,19 @@ impl DiversityMonitor {
         &mut self.verifier
     }
 
+    /// The Shannon entropy (bits) of the current configuration
+    /// distribution, straight off the registry's incrementally maintained
+    /// accumulator — O(1), no distribution rebuild. This is the
+    /// continuous-monitoring fast path; use [`report`](Self::report) for the
+    /// full metric set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Entropy`] when no power is registered.
+    pub fn entropy_bits(&self, include_unattested: bool) -> Result<f64, CoreError> {
+        Ok(self.registry.entropy_bits(include_unattested)?)
+    }
+
     /// Produces the diversity report. With `include_unattested`, all
     /// unattested power is counted as one opaque configuration (the
     /// pessimistic reading).
@@ -89,7 +102,7 @@ impl DiversityMonitor {
             replicas: self.registry.len(),
             configurations: dist.support_size(),
             total_effective_power: self.registry.total_effective_power(),
-            entropy_bits: dist.shannon_entropy(),
+            entropy_bits: self.registry.entropy_bits(include_unattested)?,
             min_entropy_bits: min_entropy_bits(&dist),
             effective_configurations: effective_configurations(&dist),
             evenness: evenness(&dist),
@@ -231,6 +244,23 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CoreError::Attest(_)));
         assert!(m.report(false).is_err(), "nothing registered");
+    }
+
+    #[test]
+    fn fast_entropy_matches_report_entropy() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        attest_cycle(&mut m, &device, 0, b"cfg-a", 700);
+        attest_cycle(&mut m, &device, 1, b"cfg-b", 200);
+        m.ingest_unattested(ReplicaId::new(2), VotingPower::new(100));
+        for include in [false, true] {
+            let fast = m.entropy_bits(include).unwrap();
+            let report = m.report(include).unwrap();
+            assert_eq!(fast.to_bits(), report.entropy_bits.to_bits());
+            assert!(!fast.is_sign_negative());
+        }
+        let empty = monitor_with_roots(&[&device]);
+        assert!(empty.entropy_bits(false).is_err());
     }
 
     #[test]

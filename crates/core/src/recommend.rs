@@ -49,6 +49,12 @@ impl Recommender {
     /// Returns the plan in application order (possibly empty if the
     /// assignment is already optimal).
     ///
+    /// Every candidate move is scored in O(1) by
+    /// [`fi_entropy::EntropyAccumulator::peek_move`] on a bucket accumulator
+    /// seeded once from the assignment — the previous implementation cloned
+    /// the whole assignment and rebuilt its distribution for each of the
+    /// `replicas × configurations` trials per round.
+    ///
     /// # Errors
     ///
     /// Returns [`fi_config::ConfigError`] if the assignment carries no
@@ -58,30 +64,32 @@ impl Recommender {
         assignment: &Assignment,
     ) -> Result<Vec<Recommendation>, fi_config::ConfigError> {
         let mut working = assignment.clone();
-        let mut entropy = working.entropy_bits()?;
+        // Validates the no-power error case exactly as before.
+        working.entropy_bits()?;
+        let mut acc = working.entropy_accumulator();
+        // Baseline and trial entropies must come from the same formula
+        // (the accumulator's log2 W − S/W): mixing in the batch −Σ p·log p
+        // value here can differ by ~1e-15 and let a mathematically neutral
+        // move sneak past the spurious-gain gate below.
+        let mut entropy = acc.entropy_bits();
+        let k = working.space().len();
         let mut plan = Vec::new();
 
         for _ in 0..self.max_moves {
             let mut best: Option<(ReplicaId, usize, usize, f64)> = None;
-            let entries: Vec<(ReplicaId, usize)> = working
-                .entries()
-                .iter()
-                .map(|e| (e.replica, e.config))
-                .collect();
-            for (replica, current) in &entries {
-                for target in 0..working.space().len() {
-                    if target == *current {
+            for e in working.entries() {
+                let (replica, current, units) = (e.replica, e.config, e.power.as_units());
+                for target in 0..k {
+                    if target == current {
                         continue;
                     }
-                    let mut trial = working.clone();
-                    trial.reassign(*replica, target)?;
-                    let h = trial.entropy_bits()?;
+                    let h = acc.peek_move(current, target, units);
                     let better = match best {
                         None => h > entropy,
                         Some((_, _, _, best_h)) => h > best_h,
                     };
                     if better {
-                        best = Some((*replica, *current, target, h));
+                        best = Some((replica, current, target, h));
                     }
                 }
             }
@@ -92,7 +100,11 @@ impl Recommender {
             if gain < self.min_gain_bits || gain <= 1e-12 {
                 break;
             }
+            let moved = working
+                .power_of(replica)
+                .expect("replica came from the working entries");
             working.reassign(replica, to_config)?;
+            acc.apply_move(from_config, to_config, moved.as_units());
             entropy = h;
             plan.push(Recommendation {
                 replica,

@@ -10,8 +10,11 @@
 //! the product I can exploit?", Remark 3's privacy concern) goes stale
 //! every period.
 
+use std::collections::HashMap;
+
 use fi_config::Assignment;
-use fi_types::{ReplicaId, SimTime};
+use fi_entropy::EntropyAccumulator;
+use fi_types::{ReplicaId, SimTime, VotingPower};
 use serde::{Deserialize, Serialize};
 
 /// One scheduled migration.
@@ -124,6 +127,85 @@ impl RotationPlanner {
     }
 }
 
+/// O(1)-per-step entropy monitoring across rotation (or arbitrary
+/// migration) steps.
+///
+/// A diversity monitor that re-derives the full power-weighted distribution
+/// after every applied [`RotationStep`] pays O(replicas) per step; this
+/// tracker seeds an [`EntropyAccumulator`] from the assignment once and then
+/// moves each migrating replica's power between configuration buckets in
+/// O(1), exposing the running entropy (which rotation provably preserves —
+/// the tracker lets operators *watch* that invariant instead of trusting
+/// it).
+#[derive(Debug, Clone)]
+pub struct RotationEntropyTracker {
+    acc: EntropyAccumulator,
+    positions: HashMap<ReplicaId, (usize, VotingPower)>,
+}
+
+impl RotationEntropyTracker {
+    /// Seeds the tracker from an assignment's current buckets (O(replicas),
+    /// once).
+    #[must_use]
+    pub fn new(assignment: &Assignment) -> Self {
+        let acc = assignment.entropy_accumulator();
+        let positions = assignment
+            .entries()
+            .iter()
+            .map(|e| (e.replica, (e.config, e.power)))
+            .collect();
+        RotationEntropyTracker { acc, positions }
+    }
+
+    /// The tracked entropy (bits) of the power-weighted configuration
+    /// distribution. O(1).
+    #[must_use]
+    pub fn entropy_bits(&self) -> f64 {
+        self.acc.entropy_bits()
+    }
+
+    /// Applies one migration step in O(1) and returns the entropy after it.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Assignment::reassign`]:
+    /// [`fi_config::ConfigError::UnknownConfiguration`] for an out-of-range
+    /// destination, [`fi_config::ConfigError::EmptyAssignment`] for a
+    /// replica the tracker has never seen.
+    pub fn apply(&mut self, step: &RotationStep) -> Result<f64, fi_config::ConfigError> {
+        if step.to_config >= self.acc.slots() {
+            return Err(fi_config::ConfigError::UnknownConfiguration {
+                index: step.to_config,
+                space_size: self.acc.slots(),
+            });
+        }
+        let Some((config, power)) = self.positions.get_mut(&step.replica) else {
+            return Err(fi_config::ConfigError::EmptyAssignment);
+        };
+        self.acc
+            .apply_move(*config, step.to_config, power.as_units());
+        *config = step.to_config;
+        Ok(self.acc.entropy_bits())
+    }
+
+    /// Applies every step with `at <= now`, returning the entropy after the
+    /// last applied step (or the current entropy if none were due).
+    ///
+    /// # Errors
+    ///
+    /// As [`apply`](Self::apply).
+    pub fn apply_due(
+        &mut self,
+        steps: &[RotationStep],
+        now: SimTime,
+    ) -> Result<f64, fi_config::ConfigError> {
+        for step in steps.iter().filter(|s| s.at <= now) {
+            self.apply(step)?;
+        }
+        Ok(self.entropy_bits())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +297,61 @@ mod tests {
     #[test]
     fn max_exposure_is_one_period() {
         assert_eq!(planner().max_exposure(), SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn tracker_follows_applied_steps_without_recomputation() {
+        let assignment = Assignment::round_robin(&space(4), 8, VotingPower::new(10)).unwrap();
+        let steps = planner().plan(&assignment, SimTime::from_secs(3 * 3600));
+        let mut tracker = RotationEntropyTracker::new(&assignment);
+        assert!((tracker.entropy_bits() - assignment.entropy_bits().unwrap()).abs() < 1e-12);
+
+        let mut rotated = assignment.clone();
+        for step in &steps {
+            let tracked = tracker.apply(step).unwrap();
+            rotated.reassign(step.replica, step.to_config).unwrap();
+            let recomputed = rotated.entropy_bits().unwrap();
+            assert!(
+                (tracked - recomputed).abs() < 1e-9,
+                "tracked {tracked} vs recomputed {recomputed}"
+            );
+        }
+        // Rotation is measure-preserving: entropy is invariant end-to-end.
+        assert!((tracker.entropy_bits() - assignment.entropy_bits().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_apply_due_matches_planner_apply_due() {
+        let assignment = Assignment::round_robin(&space(4), 6, VotingPower::new(7)).unwrap();
+        let steps = planner().plan(&assignment, SimTime::from_secs(5 * 3600));
+        let now = SimTime::from_secs(2 * 3600);
+
+        let mut tracker = RotationEntropyTracker::new(&assignment);
+        let tracked = tracker.apply_due(&steps, now).unwrap();
+
+        let mut applied = assignment.clone();
+        RotationPlanner::apply_due(&mut applied, &steps, now).unwrap();
+        assert!((tracked - applied.entropy_bits().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_rejects_unknown_replica_and_config() {
+        let assignment = Assignment::round_robin(&space(3), 3, VotingPower::new(1)).unwrap();
+        let mut tracker = RotationEntropyTracker::new(&assignment);
+        let bad_replica = RotationStep {
+            at: SimTime::ZERO,
+            replica: ReplicaId::new(99),
+            to_config: 0,
+        };
+        assert!(tracker.apply(&bad_replica).is_err());
+        let bad_config = RotationStep {
+            at: SimTime::ZERO,
+            replica: ReplicaId::new(0),
+            to_config: 17,
+        };
+        assert!(tracker.apply(&bad_config).is_err());
+        // Errors do not corrupt the tracked state.
+        assert!((tracker.entropy_bits() - assignment.entropy_bits().unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   over the replica-configuration space `D = {d_1 … d_k}`;
 //! * [`shannon`] — Shannon entropy `H(p) = −Σ p_i log p_i`, evenness, and
 //!   effective configuration counts;
+//! * [`incremental`] — the [`EntropyAccumulator`]: O(1) add/remove/peek of
+//!   power at a configuration bucket via `H = log2 W − S/W`, powering the
+//!   selection and monitoring hot paths;
 //! * [`renyi`] — the Rényi family (Hartley, collision, min-entropy) and Hill
 //!   numbers, which generalise "how many effectively independent
 //!   configurations are there";
@@ -49,6 +52,7 @@ pub mod bitcoin;
 pub mod dist;
 pub mod error;
 pub mod estimate;
+pub mod incremental;
 pub mod metrics;
 pub mod optimal;
 pub mod propositions;
@@ -58,5 +62,6 @@ pub mod shannon;
 pub use abundance::{AbundanceVector, RelativeAbundance};
 pub use dist::Distribution;
 pub use error::DistributionError;
+pub use incremental::EntropyAccumulator;
 pub use optimal::{KappaOptimality, OptimalResilience};
 pub use shannon::{effective_configurations, evenness, max_entropy_bits, shannon_entropy_bits};

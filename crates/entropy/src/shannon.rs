@@ -30,6 +30,25 @@ impl LogBase {
     }
 }
 
+/// Pins a computed entropy's degenerate cases to exactly `+0.0`.
+///
+/// Entropy is mathematically non-negative, but floating-point evaluation can
+/// produce `-0.0` (a degenerate distribution's `−1·log 1` term) or stray a
+/// few ulps below zero (the incremental `log2 W − S/W` identity near a point
+/// mass). Every entropy-returning path in this crate funnels its result
+/// through this one helper so no caller ever observes a negative sign bit.
+///
+/// `NaN` inputs propagate unchanged (they indicate a caller bug, not a
+/// degenerate distribution).
+#[must_use]
+pub fn normalized_entropy(h: f64) -> f64 {
+    if h <= 0.0 {
+        0.0
+    } else {
+        h
+    }
+}
+
 /// Shannon entropy of `p` in the given base, using `log(1/0) := 0`.
 #[must_use]
 pub fn shannon_entropy(p: &Distribution, base: LogBase) -> f64 {
@@ -39,12 +58,7 @@ pub fn shannon_entropy(p: &Distribution, base: LogBase) -> f64 {
         .filter(|&&pi| pi > 0.0)
         .map(|&pi| -pi * base.log(pi))
         .sum();
-    // −0.0 can arise from a degenerate distribution; normalize the sign.
-    if h == 0.0 {
-        0.0
-    } else {
-        h
-    }
+    normalized_entropy(h)
 }
 
 /// Shannon entropy in bits.
@@ -183,6 +197,18 @@ mod tests {
         let h = shannon_entropy_bits(&p);
         assert_eq!(h, 0.0);
         assert!(h.is_sign_positive());
+    }
+
+    #[test]
+    fn normalized_entropy_pins_degenerate_signs() {
+        // Regression for the −0.0 quirk: the fix lives in one place now, so
+        // both the batch path and the incremental accumulator inherit it.
+        assert!(normalized_entropy(-0.0).is_sign_positive());
+        assert_eq!(normalized_entropy(-0.0), 0.0);
+        // A few ulps of negative rounding noise are pinned to zero too.
+        assert_eq!(normalized_entropy(-1e-16), 0.0);
+        assert_eq!(normalized_entropy(1.5), 1.5);
+        assert!(normalized_entropy(f64::NAN).is_nan());
     }
 
     #[test]

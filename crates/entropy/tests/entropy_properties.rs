@@ -8,7 +8,7 @@ use fi_entropy::renyi::{concentration_index, min_entropy_bits, renyi_entropy_bit
 use fi_entropy::shannon::{
     evenness, kl_divergence_bits, max_entropy_bits, shannon_entropy_bits, uniformity_gap_bits,
 };
-use fi_entropy::Distribution;
+use fi_entropy::{Distribution, EntropyAccumulator};
 use proptest::prelude::*;
 
 const EPS: f64 = 1e-9;
@@ -197,5 +197,73 @@ proptest! {
         let hu = shannon_entropy_bits(&u);
         let hm = shannon_entropy_bits(&m);
         prop_assert!(hm >= lambda * hp + (1.0 - lambda) * hu - EPS);
+    }
+
+    /// Incremental == naive: after any add/remove sequence, the
+    /// accumulator's entropy matches `shannon_entropy_bits` on the resulting
+    /// distribution, every peek matches its applied counterpart bitwise, and
+    /// the sign fix holds (never −0.0).
+    #[test]
+    fn accumulator_matches_naive_after_any_sequence(
+        ops in proptest::collection::vec(
+            (0usize..8, 1u64..2_000, proptest::bool::ANY),
+            1..80,
+        ),
+    ) {
+        let mut acc = EntropyAccumulator::new(8);
+        let mut weights = [0u64; 8];
+        for (slot, amount, is_remove) in ops {
+            if is_remove && weights[slot] > 0 {
+                let w = amount.min(weights[slot]);
+                let peek = acc.peek_remove(slot, w);
+                acc.remove(slot, w);
+                weights[slot] -= w;
+                prop_assert_eq!(peek.to_bits(), acc.entropy_bits().to_bits());
+            } else {
+                let peek = acc.peek_add(slot, amount);
+                acc.add(slot, amount);
+                weights[slot] += amount;
+                prop_assert_eq!(peek.to_bits(), acc.entropy_bits().to_bits());
+            }
+            let h = acc.entropy_bits();
+            let expect = match Distribution::from_counts(&weights) {
+                Ok(d) => shannon_entropy_bits(&d),
+                Err(_) => 0.0,
+            };
+            prop_assert!((h - expect).abs() < EPS, "acc {h} vs naive {expect}");
+            prop_assert!(!h.is_sign_negative(), "entropy must never be -0.0");
+            prop_assert_eq!(
+                acc.total_weight(),
+                weights.iter().sum::<u64>(),
+                "integer total must be exact"
+            );
+        }
+    }
+
+    /// peek_move agrees with the naive recomputation of the moved vector
+    /// and conserves total power.
+    #[test]
+    fn accumulator_move_matches_naive(
+        base in proptest::collection::vec(0u64..2_000, 2..8),
+        from_pick in 0usize..8,
+        to_pick in 0usize..8,
+        amount in 1u64..2_000,
+    ) {
+        let mut acc = EntropyAccumulator::from_weights(&base);
+        let from = from_pick % base.len();
+        let to = to_pick % base.len();
+        let w = amount.min(base[from]);
+        let peek = acc.peek_move(from, to, w);
+        acc.apply_move(from, to, w);
+        prop_assert_eq!(peek.to_bits(), acc.entropy_bits().to_bits());
+        let mut moved = base.clone();
+        moved[from] -= w;
+        moved[to] += w;
+        let expect = match Distribution::from_counts(&moved) {
+            Ok(d) => shannon_entropy_bits(&d),
+            Err(_) => 0.0,
+        };
+        prop_assert!((acc.entropy_bits() - expect).abs() < EPS);
+        prop_assert_eq!(acc.total_weight(), base.iter().sum::<u64>());
     }
 }

@@ -52,9 +52,20 @@ pub fn double_spend_success_probability(q: f64, z: u32) -> f64 {
     (1.0 - sum).clamp(0.0, 1.0)
 }
 
-/// Monte-Carlo cross-check of the double-spend race: simulates the
-/// confirmation phase (negative-binomial attacker progress) and the
-/// catch-up random walk. Returns the empirical success ratio.
+/// Monte-Carlo cross-check of the double-spend race. Returns the empirical
+/// success ratio.
+///
+/// Fast path via geometric run sampling instead of per-block Bernoulli
+/// draws: while the merchant waits for `z` honest confirmations, the number
+/// of attacker blocks mined before each honest one is geometric —
+/// `P(L = l) = q^l·p` — so one inverse-CDF draw `⌊ln U / ln q⌋` replaces an
+/// entire run of per-block coin flips (their sum is the same
+/// negative-binomial attacker progress the block-by-block walk produces).
+/// The catch-up phase is resolved by a single draw against the exact
+/// gambler's-ruin probability `(q/p)^d` of erasing a deficit `d`, which
+/// also removes the old implementation's abandon-at-64 truncation. Each
+/// trial costs at most `z + 1` RNG draws (the catch-up draw is skipped when
+/// the attacker already leads), independent of how long the race runs.
 ///
 /// # Panics
 ///
@@ -66,39 +77,34 @@ pub fn monte_carlo_double_spend(q: f64, z: u32, trials: u32, seed: u64) -> f64 {
     if q >= 0.5 {
         return 1.0;
     }
+    if q == 0.0 {
+        // No attacker power: the race is won only when z = 0 (the merchant
+        // accepted an unconfirmed transaction).
+        return if z == 0 { 1.0 } else { 0.0 };
+    }
+    let p = 1.0 - q;
+    let ln_q = q.ln();
+    let catch_up = q / p;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut successes = 0u32;
-    // Abandon a race once the attacker falls this far behind; the residual
-    // success probability is (q/p)^64, negligible for any q < 0.5 worth
-    // simulating.
-    const ABANDON_DEFICIT: i64 = 64;
-    'trial: for _ in 0..trials {
-        // Phase 1: merchant waits for z honest confirmations; attacker
-        // mines k blocks meanwhile.
-        let mut honest = 0u32;
-        let mut attacker = 0i64;
-        while honest < z {
-            if rng.gen::<f64>() < q {
-                attacker += 1;
-            } else {
-                honest += 1;
-            }
+    for _ in 0..trials {
+        // Phase 1: attacker blocks mined during the confirmation window —
+        // z geometric runs (f64→u64 casts saturate, so even a pathological
+        // draw cannot wrap).
+        let mut attacker = 0u64;
+        for _ in 0..z {
+            let u = 1.0 - rng.gen::<f64>(); // (0, 1]: ln is finite
+            attacker += (u.ln() / ln_q) as u64;
         }
-        // Phase 2: gambler's ruin from deficit z − k; success at tie.
-        let mut deficit = z as i64 - attacker;
-        loop {
-            if deficit <= 0 {
-                successes += 1;
-                continue 'trial;
-            }
-            if deficit > ABANDON_DEFICIT {
-                continue 'trial;
-            }
-            if rng.gen::<f64>() < q {
-                deficit -= 1;
-            } else {
-                deficit += 1;
-            }
+        // Phase 2: gambler's ruin from deficit z − attacker, resolved
+        // exactly with one draw.
+        let deficit = i64::from(z).saturating_sub_unsigned(attacker);
+        let erased = deficit <= 0 || {
+            let d = i32::try_from(deficit).unwrap_or(i32::MAX);
+            rng.gen::<f64>() < catch_up.powi(d)
+        };
+        if erased {
+            successes += 1;
         }
     }
     f64::from(successes) / f64::from(trials)
@@ -286,6 +292,28 @@ mod tests {
         let a = monte_carlo_double_spend(0.2, 3, 10_000, 7);
         let b = monte_carlo_double_spend(0.2, 3, 10_000, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monte_carlo_edge_shares() {
+        // Powerless attacker: wins only the unconfirmed (z = 0) race.
+        assert_eq!(monte_carlo_double_spend(0.0, 3, 1_000, 1), 0.0);
+        assert_eq!(monte_carlo_double_spend(0.0, 0, 1_000, 1), 1.0);
+        assert_eq!(monte_carlo_double_spend(0.5, 6, 1_000, 1), 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_geometric_sampling_matches_deep_races() {
+        // Deeper confirmation windows stress the geometric phase-1 sampling
+        // and the exact catch-up draw (no abandon-threshold truncation).
+        for &(q, z) in &[(0.15, 8u32), (0.4, 10), (0.45, 2)] {
+            let analytic = double_spend_success_probability(q, z);
+            let mc = monte_carlo_double_spend(q, z, 80_000, 11);
+            assert!(
+                (mc - analytic).abs() < 0.01,
+                "q={q} z={z}: mc {mc} vs analytic {analytic}"
+            );
+        }
     }
 
     #[test]
