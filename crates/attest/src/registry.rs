@@ -260,6 +260,17 @@ impl AttestedRegistry {
         Ok(())
     }
 
+    /// Removes `replica` from the registry entirely (churn, slashing, or a
+    /// voluntary exit), returning whether it was registered. O(1): the
+    /// replica's contribution leaves its incremental bucket, and a
+    /// measurement bucket whose last member departs is recycled for the
+    /// next new measurement.
+    pub fn deregister(&mut self, replica: ReplicaId) -> bool {
+        let present = self.entries.contains_key(&replica);
+        self.unindex(replica);
+        present
+    }
+
     /// Registers an unattested replica (power only; configuration opaque).
     pub fn register_unattested(&mut self, replica: ReplicaId, power: VotingPower) {
         self.unindex(replica);

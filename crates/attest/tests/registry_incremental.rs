@@ -1,0 +1,202 @@
+//! Edge-case suite for [`AttestedRegistry`]'s incremental measurement
+//! buckets: re-registration under a changed measurement, deregistering the
+//! last member of a bucket, and slot recycling — each step cross-checked
+//! against a full rescan of the registry's rows.
+//!
+//! The registry maintains `entropy_bits` / `total_effective_power` in O(1)
+//! through an `EntropyAccumulator`; these tests are the proof that the
+//! incremental state never diverges from what a from-scratch aggregation
+//! of `measurement_powers` reports, no matter how the membership churns.
+
+use fi_attest::device::{DeviceKind, TrustedDevice};
+use fi_attest::{
+    AttestationPolicy, AttestedRegistry, Quote, ReplicaTier, TwoTierWeights, Verifier,
+};
+use fi_entropy::incremental::weighted_entropy_bits;
+use fi_types::{sha256, KeyPair, ReplicaId, SimTime, VotingPower};
+
+/// A verifiable quote over `measurement`, with a verifier that trusts it.
+fn verified_quote(seed: u64, measurement: &[u8]) -> (Quote, Verifier) {
+    let device = TrustedDevice::new(DeviceKind::Tpm20, seed);
+    let aik = device.create_aik("aik");
+    let quote = aik.quote(
+        sha256(measurement),
+        0,
+        KeyPair::from_seed(seed).public_key(),
+        SimTime::ZERO,
+    );
+    let mut verifier = Verifier::new(AttestationPolicy::discovery());
+    verifier.trust_endorsement(device.endorsement_key());
+    (quote, verifier)
+}
+
+fn register(reg: &mut AttestedRegistry, replica: u64, measurement: &[u8], power: u64) {
+    let (quote, verifier) = verified_quote(1_000 + replica, measurement);
+    reg.register_attested(
+        ReplicaId::new(replica),
+        &quote,
+        &verifier,
+        SimTime::ZERO,
+        None,
+        VotingPower::new(power),
+    )
+    .expect("verifiable quote registers");
+}
+
+/// Full rescan oracle: total effective power and configuration entropy
+/// re-derived from the registry's row dump, ignoring all incremental state.
+fn rescan(reg: &AttestedRegistry, include_unattested: bool) -> (u64, f64) {
+    let rows = reg.measurement_powers(include_unattested);
+    let total: u64 = rows.iter().map(|(_, p)| p.as_units()).sum();
+    let entropy = weighted_entropy_bits(rows.iter().map(|(_, p)| p.as_units()));
+    (total, entropy)
+}
+
+/// Asserts the incremental fast paths agree with the rescan oracle in both
+/// unattested-bucket modes.
+fn assert_matches_rescan(reg: &AttestedRegistry, context: &str) {
+    let (with_total, with_entropy) = rescan(reg, true);
+    assert_eq!(
+        reg.total_effective_power().as_units(),
+        with_total,
+        "{context}: incremental total diverged from rescan"
+    );
+    for include in [false, true] {
+        let (_, expected) = rescan(reg, include);
+        match reg.entropy_bits(include) {
+            Ok(actual) => assert!(
+                (actual - expected).abs() < 1e-9,
+                "{context} (include={include}): incremental entropy {actual} vs rescan {expected}"
+            ),
+            Err(_) => assert_eq!(
+                reg.measurement_powers(include).len(),
+                0,
+                "{context} (include={include}): entropy errored on a non-empty registry"
+            ),
+        }
+    }
+    let _ = with_entropy;
+}
+
+#[test]
+fn re_registration_under_changed_measurement_moves_the_bucket() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+    register(&mut reg, 0, b"cfg-a", 60);
+    register(&mut reg, 1, b"cfg-a", 40);
+    register(&mut reg, 2, b"cfg-b", 50);
+    assert_matches_rescan(&reg, "initial population");
+    assert_eq!(reg.measurement_powers(false).len(), 2);
+
+    // Replica 1 reconfigures: cfg-a → cfg-b. Power must leave one bucket
+    // and land in the other, atomically.
+    register(&mut reg, 1, b"cfg-b", 40);
+    assert_matches_rescan(&reg, "after cross-bucket re-registration");
+    assert_eq!(
+        reg.measurement_of(ReplicaId::new(1)),
+        Some(sha256(b"cfg-b"))
+    );
+    let rows = reg.measurement_powers(false);
+    assert_eq!(rows.len(), 2);
+    let powers: Vec<u64> = rows.iter().map(|(_, p)| p.as_units()).collect();
+    assert!(
+        powers.contains(&60) && powers.contains(&90),
+        "rows: {rows:?}"
+    );
+
+    // Replica 0 re-attests the *same* measurement with new power: the
+    // bucket updates in place, no phantom rows.
+    register(&mut reg, 0, b"cfg-a", 75);
+    assert_matches_rescan(&reg, "after same-bucket re-registration");
+    assert_eq!(reg.total_effective_power(), VotingPower::new(75 + 90));
+}
+
+#[test]
+fn deregistering_the_last_member_of_a_bucket_removes_its_row() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+    register(&mut reg, 0, b"cfg-a", 100);
+    register(&mut reg, 1, b"cfg-b", 50);
+    register(&mut reg, 2, b"cfg-b", 50);
+    assert_matches_rescan(&reg, "initial population");
+
+    // cfg-a has exactly one member; deregistering it must erase the row
+    // entirely (not leave a zero-weight ghost in the distribution).
+    assert!(reg.deregister(ReplicaId::new(0)));
+    assert_matches_rescan(&reg, "after deregistering a bucket's last member");
+    assert_eq!(reg.len(), 2);
+    assert_eq!(reg.measurement_powers(false).len(), 1);
+    let h = reg.entropy_bits(false).unwrap();
+    assert_eq!(h, 0.0, "one surviving measurement: entropy exactly +0.0");
+    assert!(h.is_sign_positive());
+
+    // Deregistering the other two empties the registry; the fast paths
+    // report the degenerate state rather than stale buckets.
+    assert!(reg.deregister(ReplicaId::new(1)));
+    assert!(reg.deregister(ReplicaId::new(2)));
+    assert!(reg.is_empty());
+    assert_eq!(reg.total_effective_power(), VotingPower::ZERO);
+    assert!(reg.entropy_bits(false).is_err());
+
+    // Deregistering an unknown replica is a no-op that says so.
+    assert!(!reg.deregister(ReplicaId::new(9)));
+    assert!(!reg.deregister(ReplicaId::new(0)), "double deregister");
+}
+
+#[test]
+fn recycled_slots_serve_new_measurements_without_residue() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+    register(&mut reg, 0, b"cfg-a", 30);
+    register(&mut reg, 1, b"cfg-b", 70);
+
+    // Empty cfg-a's bucket, then introduce a brand-new measurement: the
+    // freed slot is reused, and nothing of cfg-a leaks into cfg-c.
+    assert!(reg.deregister(ReplicaId::new(0)));
+    register(&mut reg, 2, b"cfg-c", 30);
+    assert_matches_rescan(&reg, "after slot recycling");
+    let rows = reg.measurement_powers(false);
+    assert_eq!(rows.len(), 2);
+    assert!(
+        rows.iter().all(|(m, _)| *m != Some(sha256(b"cfg-a"))),
+        "the emptied measurement must not resurface: {rows:?}"
+    );
+    assert!(rows.iter().any(|(m, _)| *m == Some(sha256(b"cfg-c"))));
+
+    // Stress the recycler: churn one replica across many measurements;
+    // the live row count must stay bounded by the live measurement set.
+    for round in 0u64..20 {
+        let name = format!("cfg-churn-{round}");
+        register(&mut reg, 3, name.as_bytes(), 10 + round);
+        assert_matches_rescan(&reg, "during churn");
+        assert_eq!(
+            reg.measurement_powers(false).len(),
+            3,
+            "round {round}: recycled slots must not accumulate rows"
+        );
+    }
+}
+
+#[test]
+fn tier_flips_move_power_between_buckets_and_opaque_pool() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+    register(&mut reg, 0, b"cfg-a", 100);
+    reg.register_unattested(ReplicaId::new(1), VotingPower::new(100));
+    assert_matches_rescan(&reg, "mixed tiers");
+    assert_eq!(reg.total_effective_power(), VotingPower::new(150));
+
+    // The attested replica drops to the unattested tier: its bucket (the
+    // last cfg-a member) empties and its discounted power joins the pool.
+    reg.register_unattested(ReplicaId::new(0), VotingPower::new(100));
+    assert_matches_rescan(&reg, "after attested→unattested flip");
+    assert_eq!(
+        reg.tier_of(ReplicaId::new(0)),
+        Some(ReplicaTier::Unattested)
+    );
+    assert_eq!(reg.total_effective_power(), VotingPower::new(100));
+    assert!(reg.measurement_powers(false).is_empty());
+    assert!(reg.entropy_bits(false).is_err(), "no attested rows remain");
+
+    // And back: re-attestation rebuilds the bucket from the opaque pool.
+    register(&mut reg, 0, b"cfg-a", 100);
+    assert_matches_rescan(&reg, "after unattested→attested flip");
+    assert_eq!(reg.total_effective_power(), VotingPower::new(150));
+    assert_eq!(reg.measurement_powers(false).len(), 1);
+}

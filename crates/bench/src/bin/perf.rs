@@ -20,9 +20,10 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+
+use fi_bench::repo_root;
 
 use fi_committee::greedy::greedy_diverse_naive;
 use fi_committee::prelude::*;
@@ -209,14 +210,6 @@ fn render_json(
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
-}
-
-fn repo_root() -> PathBuf {
-    // cargo sets the manifest dir at run time; the workspace root is two
-    // levels up from crates/bench. Fall back to the cwd when run directly.
-    std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(|dir| PathBuf::from(dir).join("..").join(".."))
-        .unwrap_or_else(|| PathBuf::from("."))
 }
 
 fn main() -> ExitCode {

@@ -34,6 +34,16 @@ use fi_nakamoto::pool::{bitcoin_pools_2023, compromised_share, dedelegate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The workspace root at run time, for binaries that leave a report JSON
+/// there: cargo sets the manifest dir, and the root is two levels up from
+/// `crates/bench`. Falls back to the cwd when run directly.
+#[must_use]
+pub fn repo_root() -> std::path::PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|dir| std::path::PathBuf::from(dir).join("..").join(".."))
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
 /// A printable experiment result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {

@@ -199,6 +199,25 @@ pub fn run_cluster_with_faults(
     seed: u64,
     faults: &[ScheduledFault],
 ) -> ClusterReport {
+    run_cluster_with_schedule(config, seed, faults, &[])
+}
+
+/// Builds and runs a cluster with scheduled compromises *and* scheduled
+/// recoveries: each `(at, replica)` pair in `recoveries` restores the
+/// replica to honest behaviour at `at` — the proactive-recovery /
+/// patch-rollout mitigation of §III-A (refs \[23\]–\[27\]), expressed as a
+/// first-class schedule so scenario campaigns can model patch windows.
+///
+/// # Panics
+///
+/// Panics if a fault or recovery targets a replica index `>= n`.
+#[must_use]
+pub fn run_cluster_with_schedule(
+    config: &ClusterConfig,
+    seed: u64,
+    faults: &[ScheduledFault],
+    recoveries: &[(SimTime, usize)],
+) -> ClusterReport {
     let params = config.quorum_params();
     let mut sim: Simulation<BftNode> = Simulation::new(config.network.clone(), seed);
     for i in 0..config.n {
@@ -231,6 +250,15 @@ pub fn run_cluster_with_faults(
                 flavor: fault.behavior.to_flavor(),
             },
         );
+    }
+    for &(at, replica) in recoveries {
+        assert!(
+            replica < config.n,
+            "recovery targets replica {} but n = {}",
+            replica,
+            config.n
+        );
+        sim.schedule_fault(at, NodeId::new(replica), FaultEvent::Recover);
     }
 
     // Run in slices so we can stop as soon as the workload completes.
@@ -528,8 +556,11 @@ mod tests {
             sim.schedule_fault(SimTime::from_secs(2), NodeId::new(r), FaultEvent::Recover);
         }
         sim.run_until(SimTime::from_secs(30));
-        let BftNode::Client(client) = sim.node(NodeId::new(4)) else {
-            panic!("node 4 is the client");
+        let client = match sim.node(NodeId::new(4)) {
+            BftNode::Client(c) => c,
+            BftNode::Replica(_) => unreachable!(
+                "node ids 0..4 are replicas; id 4 was added as the workload client above"
+            ),
         };
         assert!(
             client.done(),
@@ -545,6 +576,41 @@ mod tests {
             .collect();
         let honest = vec![true; 4];
         assert!(SafetyReport::audit(&replicas, &honest).holds());
+    }
+
+    #[test]
+    fn scheduled_recovery_restores_liveness_via_harness() {
+        // Same shape as proactive_recovery_restores_liveness, but through
+        // the first-class schedule API: 2 > f = 1 replicas go silent at
+        // t=1ms, recover at t=2s, and the workload still completes.
+        let config = ClusterConfig::new(4)
+            .requests(6)
+            .max_time(SimTime::from_secs(30));
+        let faults: Vec<ScheduledFault> = [1usize, 2]
+            .iter()
+            .map(|&r| ScheduledFault {
+                at: SimTime::from_millis(1),
+                replica: r,
+                behavior: Behavior::Silent,
+            })
+            .collect();
+        let recoveries = [
+            (SimTime::from_secs(2), 1usize),
+            (SimTime::from_secs(2), 2usize),
+        ];
+        let report = run_cluster_with_schedule(&config, 13, &faults, &recoveries);
+        assert!(report.safety.holds());
+        assert!(
+            report.liveness.all_executed(),
+            "recovery must restore liveness: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery targets replica")]
+    fn recovery_out_of_range_panics() {
+        let config = ClusterConfig::new(4);
+        let _ = run_cluster_with_schedule(&config, 0, &[], &[(SimTime::ZERO, 9)]);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod safety;
 pub mod weighted;
 
 pub use byzantine::Behavior;
-pub use harness::{run_cluster, ClusterConfig, ClusterReport};
+pub use harness::{
+    faults_from_vulnerability, run_cluster, run_cluster_with_faults, run_cluster_with_schedule,
+    ClusterConfig, ClusterReport, ScheduledFault,
+};
 pub use message::BftMessage;
 pub use quorum::QuorumParams;
 pub use replica::Replica;

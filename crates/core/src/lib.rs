@@ -22,7 +22,10 @@
 //! The consensus substrates used by the paper's experiments are re-exported:
 //! [`fi_bft`] (PBFT under correlated compromise), [`fi_nakamoto`]
 //! (Proof-of-Work, pools, double-spend races), and [`fi_committee`]
-//! (diversity-enforcing committee selection, §V's two-tier sketch).
+//! (diversity-enforcing committee selection, §V's two-tier sketch) —
+//! plus [`fi_scenarios`], the declarative adversary-scenario model and
+//! multi-threaded campaign runner that sweeps resilience grids across all
+//! three substrates (`cargo run --release -p fi-bench --bin scenarios`).
 //!
 //! ## Quickstart
 //!
@@ -80,6 +83,7 @@ pub use fi_committee;
 pub use fi_config;
 pub use fi_entropy;
 pub use fi_nakamoto;
+pub use fi_scenarios;
 pub use fi_simnet;
 pub use fi_types;
 
@@ -93,5 +97,6 @@ pub mod prelude {
     pub use fi_attest::prelude::*;
     pub use fi_config::prelude::*;
     pub use fi_entropy::{AbundanceVector, Distribution};
+    pub use fi_scenarios::prelude::*;
     pub use fi_types::{ReplicaId, SimTime, VotingPower, VulnId};
 }

@@ -1,0 +1,125 @@
+//! The multi-threaded campaign runner.
+//!
+//! A campaign sweeps a scenario grid across a worker pool. Every scenario
+//! is deterministic given its seed and fully independent of the others, so
+//! the thread count is a pure throughput knob: the resulting
+//! [`CampaignReport`] is byte-identical whether the grid runs on one
+//! thread or sixteen (results land in grid order, and nothing timing- or
+//! scheduling-dependent enters a report).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::{CampaignReport, ScenarioReport};
+use crate::run::run_scenario;
+use crate::scenario::Scenario;
+
+/// A sensible default worker count: the machine's parallelism, capped at 8
+/// (the grids are small; more threads only add contention).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs every scenario in `grid` across `threads` workers and collects the
+/// reports in grid order.
+///
+/// # Panics
+///
+/// Panics (before spawning anything) if any scenario fails
+/// [`Scenario::validate`], and propagates any panic raised inside a
+/// scenario run.
+#[must_use]
+pub fn run_campaign(grid: &[Scenario], threads: usize) -> CampaignReport {
+    for scenario in grid {
+        if let Err(reason) = scenario.validate() {
+            panic!("invalid campaign grid: {reason}");
+        }
+    }
+    let threads = threads.clamp(1, grid.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ScenarioReport>>> = Mutex::new(vec![None; grid.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = grid.get(i) else { break };
+                let report = run_scenario(scenario);
+                slots.lock().expect("no worker panicked holding the lock")[i] = Some(report);
+            });
+        }
+    });
+
+    let reports = slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every grid index was claimed exactly once"))
+        .collect();
+    CampaignReport { reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::smoke_grid;
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let grid = smoke_grid();
+        let serial = run_campaign(&grid, 1);
+        let parallel = run_campaign(&grid, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_json("smoke"),
+            parallel.to_json("smoke"),
+            "renders must be byte-identical regardless of worker count"
+        );
+    }
+
+    #[test]
+    fn campaign_reports_land_in_grid_order() {
+        let grid = smoke_grid();
+        let campaign = run_campaign(&grid, default_threads());
+        assert_eq!(campaign.len(), grid.len());
+        for (scenario, report) in grid.iter().zip(&campaign.reports) {
+            assert_eq!(scenario.name, report.name);
+            assert_eq!(scenario.seed, report.seed);
+        }
+    }
+
+    #[test]
+    fn smoke_campaign_has_no_regressions() {
+        let campaign = run_campaign(&smoke_grid(), default_threads());
+        assert!(
+            campaign.regressions().is_empty(),
+            "smoke grid verdicts drifted: {:?}",
+            campaign.regressions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign grid")]
+    fn invalid_grid_is_rejected_up_front() {
+        let mut grid = smoke_grid();
+        grid[0].replicas = 0;
+        let _ = run_campaign(&grid, 1);
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_report() {
+        let campaign = run_campaign(&[], 4);
+        assert!(campaign.is_empty());
+        assert_eq!(campaign.safe_count(), 0);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}
