@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod commitment;
 pub mod device;
 pub mod error;
@@ -65,19 +66,21 @@ pub mod quote;
 pub mod registry;
 pub mod verifier;
 
+pub use churn::ChurnOp;
 pub use commitment::ConfigCommitment;
 pub use device::{AttestationKey, DeviceKind, TrustedDevice};
 pub use error::AttestError;
 pub use quote::Quote;
-pub use registry::{AttestedRegistry, ReplicaTier, TwoTierWeights};
+pub use registry::{AttestedRegistry, RegisteredDevice, ReplicaTier, TwoTierWeights};
 pub use verifier::{AttestationPolicy, Verifier};
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::churn::ChurnOp;
     pub use crate::commitment::ConfigCommitment;
     pub use crate::device::{AttestationKey, DeviceKind, TrustedDevice};
     pub use crate::error::AttestError;
     pub use crate::quote::Quote;
-    pub use crate::registry::{AttestedRegistry, ReplicaTier, TwoTierWeights};
+    pub use crate::registry::{AttestedRegistry, RegisteredDevice, ReplicaTier, TwoTierWeights};
     pub use crate::verifier::{AttestationPolicy, Verifier};
 }

@@ -13,6 +13,7 @@ use fi_entropy::{Distribution, EntropyAccumulator};
 use fi_types::{Digest, PublicKey, ReplicaId, SimTime, VotingPower};
 use serde::{Deserialize, Serialize};
 
+use crate::churn::ChurnOp;
 use crate::error::AttestError;
 use crate::quote::Quote;
 use crate::verifier::Verifier;
@@ -144,6 +145,22 @@ pub struct AttestedRegistry {
     opaque: VotingPower,
 }
 
+/// One registered device as seen from the outside: the iteration view
+/// behind [`AttestedRegistry::devices`], used to build serving rosters
+/// (committee candidates, epoch snapshots) without exposing the registry's
+/// internal entry layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegisteredDevice {
+    /// The device id.
+    pub replica: ReplicaId,
+    /// Which tier it registered on.
+    pub tier: ReplicaTier,
+    /// Its attested measurement (`None` for the unattested tier).
+    pub measurement: Option<Digest>,
+    /// Its raw (un-weighted) registered power.
+    pub power: VotingPower,
+}
+
 /// Registries compare by their entries and weights; the bucket index and
 /// accumulator are derived state.
 impl PartialEq for AttestedRegistry {
@@ -260,6 +277,56 @@ impl AttestedRegistry {
         Ok(())
     }
 
+    /// Registers an attested replica whose quote was **already verified**
+    /// at the edge (the batch-ingest path: a verification frontend checks
+    /// the quote with a [`Verifier`], then ships only the verified facts —
+    /// see [`ChurnOp`]). Identical bucket/index maintenance to
+    /// [`register_attested`](Self::register_attested); re-registration
+    /// overwrites.
+    pub fn register_attested_preverified(
+        &mut self,
+        replica: ReplicaId,
+        measurement: Digest,
+        vote_key: Option<PublicKey>,
+        power: VotingPower,
+    ) {
+        self.unindex(replica);
+        self.index_attested(measurement, power.scaled(self.weights.attested()));
+        self.entries.insert(
+            replica,
+            RegistryEntry {
+                tier: ReplicaTier::Attested,
+                measurement: Some(measurement),
+                vote_key,
+                power,
+            },
+        );
+    }
+
+    /// Applies one churn operation.
+    pub fn apply(&mut self, op: &ChurnOp) {
+        match *op {
+            ChurnOp::Attest {
+                replica,
+                measurement,
+                vote_key,
+                power,
+            } => self.register_attested_preverified(replica, measurement, vote_key, power),
+            ChurnOp::Unattested { replica, power } => self.register_unattested(replica, power),
+            ChurnOp::Deregister { replica } => {
+                self.deregister(replica);
+            }
+        }
+    }
+
+    /// Applies a batch of churn operations in order. O(batch): every op is
+    /// an O(1) incremental bucket update.
+    pub fn apply_batch(&mut self, ops: &[ChurnOp]) {
+        for op in ops {
+            self.apply(op);
+        }
+    }
+
     /// Removes `replica` from the registry entirely (churn, slashing, or a
     /// voluntary exit), returning whether it was registered. O(1): the
     /// replica's contribution leaves its incremental bucket, and a
@@ -351,6 +418,39 @@ impl AttestedRegistry {
     #[must_use]
     pub fn total_effective_power(&self) -> VotingPower {
         VotingPower::new(self.acc.total_weight()) + self.opaque
+    }
+
+    /// The live measurement buckets — every measurement with at least one
+    /// registered member, paired with its summed effective attested power
+    /// (zero-power buckets included, mirroring
+    /// [`measurement_powers`](Self::measurement_powers)). Iteration order is
+    /// internal slot order, **not** sorted: this is the raw merge feed for
+    /// snapshot layers that canonicalise ordering themselves.
+    pub fn bucket_rows(&self) -> impl Iterator<Item = (Digest, VotingPower)> + '_ {
+        self.digests
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| self.members_per_slot[slot] > 0)
+            .map(|(slot, &m)| (m, VotingPower::new(self.acc.weight(slot))))
+    }
+
+    /// Total effective power of the unattested tier (the opaque bucket).
+    /// O(1).
+    #[must_use]
+    pub fn unattested_power(&self) -> VotingPower {
+        self.opaque
+    }
+
+    /// Iterates over every registered device. Order is the entry map's —
+    /// unspecified; callers needing determinism sort by
+    /// [`RegisteredDevice::replica`].
+    pub fn devices(&self) -> impl Iterator<Item = RegisteredDevice> + '_ {
+        self.entries.iter().map(|(&replica, e)| RegisteredDevice {
+            replica,
+            tier: e.tier,
+            measurement: e.measurement,
+            power: e.power,
+        })
     }
 
     /// Effective power per distinct attested measurement, plus (optionally)
@@ -754,5 +854,130 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn weights_reject_negative() {
         let _ = TwoTierWeights::new(-1.0, 0.5);
+    }
+
+    #[test]
+    fn preverified_path_matches_quote_path() {
+        // The batch-ingest registration must leave the registry in exactly
+        // the state the full quote-verification path does.
+        let (quote, verifier) = verified_quote(1, b"cfg-a");
+        let mut via_quote = AttestedRegistry::new(TwoTierWeights::default());
+        via_quote
+            .register_attested(
+                ReplicaId::new(0),
+                &quote,
+                &verifier,
+                SimTime::ZERO,
+                None,
+                VotingPower::new(40),
+            )
+            .unwrap();
+        let mut via_op = AttestedRegistry::new(TwoTierWeights::default());
+        via_op.apply(&crate::churn::ChurnOp::from_verified_quote(
+            ReplicaId::new(0),
+            &quote,
+            VotingPower::new(40),
+        ));
+        assert_eq!(via_quote, via_op);
+        assert!(via_op.vote_key_bound(ReplicaId::new(0), &quote.vote_key()));
+        assert_eq!(
+            via_quote.entropy_bits(false).unwrap().to_bits(),
+            via_op.entropy_bits(false).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn apply_batch_equals_individual_method_calls() {
+        let m_a = sha256(b"cfg-a");
+        let m_b = sha256(b"cfg-b");
+        let ops = vec![
+            ChurnOp::attest(ReplicaId::new(0), m_a, VotingPower::new(10)),
+            ChurnOp::Unattested {
+                replica: ReplicaId::new(1),
+                power: VotingPower::new(20),
+            },
+            ChurnOp::attest(ReplicaId::new(0), m_b, VotingPower::new(15)),
+            ChurnOp::Deregister {
+                replica: ReplicaId::new(1),
+            },
+            ChurnOp::Deregister {
+                replica: ReplicaId::new(99),
+            },
+        ];
+        let mut batched = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        batched.apply_batch(&ops);
+
+        let mut manual = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        manual.register_attested_preverified(ReplicaId::new(0), m_a, None, VotingPower::new(10));
+        manual.register_unattested(ReplicaId::new(1), VotingPower::new(20));
+        manual.register_attested_preverified(ReplicaId::new(0), m_b, None, VotingPower::new(15));
+        assert!(manual.deregister(ReplicaId::new(1)));
+        assert!(!manual.deregister(ReplicaId::new(99)));
+
+        assert_eq!(batched, manual);
+        assert_eq!(batched.total_effective_power(), VotingPower::new(15));
+        assert_eq!(
+            batched.measurement_powers(true),
+            manual.measurement_powers(true)
+        );
+    }
+
+    #[test]
+    fn bucket_rows_and_devices_mirror_measurement_powers() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        reg.register_attested_preverified(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            None,
+            VotingPower::new(30),
+        );
+        reg.register_attested_preverified(
+            ReplicaId::new(1),
+            sha256(b"cfg-a"),
+            None,
+            VotingPower::new(20),
+        );
+        reg.register_attested_preverified(
+            ReplicaId::new(2),
+            sha256(b"cfg-b"),
+            None,
+            VotingPower::new(10),
+        );
+        reg.register_unattested(ReplicaId::new(3), VotingPower::new(40));
+
+        let mut rows: Vec<(Digest, VotingPower)> = reg.bucket_rows().collect();
+        rows.sort_by_key(|&(m, _)| m);
+        let expected: Vec<(Digest, VotingPower)> = reg
+            .measurement_powers(false)
+            .into_iter()
+            .map(|(m, p)| (m.expect("attested rows only"), p))
+            .collect();
+        assert_eq!(rows, expected);
+        assert_eq!(reg.unattested_power(), VotingPower::new(20));
+
+        let mut devices: Vec<RegisteredDevice> = reg.devices().collect();
+        devices.sort_by_key(|d| d.replica);
+        assert_eq!(devices.len(), 4);
+        assert_eq!(devices[0].measurement, Some(sha256(b"cfg-a")));
+        assert_eq!(devices[0].power, VotingPower::new(30));
+        assert_eq!(devices[3].tier, ReplicaTier::Unattested);
+        assert_eq!(devices[3].measurement, None);
+        // Raw power, not tier-weighted.
+        assert_eq!(devices[3].power, VotingPower::new(40));
+    }
+
+    #[test]
+    fn bucket_rows_keep_zero_power_buckets_with_members() {
+        // A registered device whose effective power is zero still holds a
+        // distribution row; the merge feed must not drop it.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        reg.register_attested_preverified(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            None,
+            VotingPower::ZERO,
+        );
+        let rows: Vec<_> = reg.bucket_rows().collect();
+        assert_eq!(rows, vec![(sha256(b"cfg-a"), VotingPower::ZERO)]);
     }
 }

@@ -1,0 +1,414 @@
+//! `fleet` — the serving-layer throughput harness.
+//!
+//! Drives a synthetic churn+query workload (full mode: 100k devices with
+//! 150k churn ops, smoke: 10k/15k) through the `fi-fleet` sharded
+//! epoch-snapshot layer at shard counts {1, 2, 4, 8} and appends a
+//! `fleet` section to `BENCH_perf.json` at the repo root:
+//!
+//! * **ingest** — ops/sec per shard count, both measured wall-clock with
+//!   real worker threads and the per-shard *critical path* (each shard's
+//!   independent work timed serially, total ops divided by the slowest
+//!   shard — what an `N`-core box observes; the JSON records the host's
+//!   parallelism so the two are read together);
+//! * **mixed 90/10** — interleaved monitor reads and churn writes with
+//!   periodic epoch seals;
+//! * **serving** — lock-free selections/sec over the prebuilt snapshot
+//!   roster vs re-deriving the roster from the registry per query, plus
+//!   the O(1) monitor-query latency.
+//!
+//! Doubles as a correctness gate: exits non-zero if the sealed snapshot's
+//! content hash differs across shard counts or diverges from the
+//! single-threaded `AttestedRegistry` oracle.
+//!
+//! ```text
+//! cargo run --release -p fi-bench --bin fleet            # full workload
+//! cargo run --release -p fi-bench --bin fleet -- --smoke # reduced n (CI)
+//! ```
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fi_attest::{AttestedRegistry, ChurnOp, RegisteredDevice, TwoTierWeights};
+use fi_bench::repo_root;
+use fi_committee::{greedy_diverse, Candidate};
+use fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
+use fi_types::Digest;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const INGEST_BATCH: usize = 4096;
+
+fn weights() -> TwoTierWeights {
+    TwoTierWeights::default()
+}
+
+struct IngestRow {
+    shards: usize,
+    measured_ops_per_sec: f64,
+    critical_path_ops_per_sec: f64,
+}
+
+struct MixedRow {
+    shards: usize,
+    ops_per_sec: f64,
+}
+
+struct ServingStats {
+    snapshot_selections_per_sec: f64,
+    rebuild_selections_per_sec: f64,
+    monitor_query_ns: f64,
+}
+
+/// The two correctness gates the binary exits non-zero on.
+struct Gates {
+    hash_invariant: bool,
+    oracle_bit_exact: bool,
+}
+
+/// Wall-clock parallel ingest of the whole trace.
+fn measure_parallel_ingest(trace: &[ChurnOp], shards: usize) -> (f64, Digest) {
+    let fleet = ShardedFleet::new(shards, weights());
+    let start = Instant::now();
+    for batch in trace.chunks(INGEST_BATCH) {
+        fleet.ingest_batch(batch);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snap = fleet.seal_epoch();
+    (trace.len() as f64 / secs, snap.content_hash())
+}
+
+/// The data-parallel critical path: each shard's sub-trace is independent
+/// (that is the sharding invariant), so the slowest shard's serial time is
+/// the floor an `N`-core machine ingests the whole trace in.
+fn measure_critical_path(trace: &[ChurnOp], shards: usize) -> f64 {
+    let mut per_shard: Vec<Vec<ChurnOp>> = vec![Vec::new(); shards];
+    for op in trace {
+        per_shard[(op.replica().as_u64() % shards as u64) as usize].push(*op);
+    }
+    let mut slowest = 0.0f64;
+    for shard_ops in &per_shard {
+        let mut registry = AttestedRegistry::new(weights());
+        let start = Instant::now();
+        registry.apply_batch(shard_ops);
+        slowest = slowest.max(start.elapsed().as_secs_f64());
+        black_box(registry.total_effective_power());
+    }
+    trace.len() as f64 / slowest
+}
+
+/// Mixed 90/10 read/write serving loop: churn lands in small batches while
+/// monitor queries read the currently served snapshot, with an epoch seal
+/// every 16 write batches.
+fn measure_mixed(trace: &[ChurnOp], shards: usize) -> f64 {
+    const WRITE_BATCH: usize = 64;
+    const READS_PER_BATCH: usize = 9 * WRITE_BATCH;
+    let fleet = ShardedFleet::new(shards, weights());
+    let mut total_ops = 0usize;
+    let start = Instant::now();
+    for (i, batch) in trace.chunks(WRITE_BATCH).enumerate() {
+        fleet.ingest_batch(batch);
+        total_ops += batch.len();
+        let snap = fleet.snapshot();
+        for _ in 0..READS_PER_BATCH {
+            black_box(snap.entropy_bits(true).ok());
+            black_box(snap.total_effective_power());
+        }
+        total_ops += READS_PER_BATCH;
+        if i % 16 == 15 {
+            black_box(fleet.seal_epoch());
+        }
+    }
+    black_box(fleet.seal_epoch());
+    total_ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Today's roster derivation, per query — what serving looked like before
+/// the epoch-snapshot layer amortised it.
+fn build_candidates(registry: &AttestedRegistry) -> Vec<Candidate> {
+    let mut measurements: Vec<Digest> = registry.bucket_rows().map(|(m, _)| m).collect();
+    measurements.sort_unstable();
+    let mut devices: Vec<RegisteredDevice> = registry.devices().collect();
+    devices.sort_unstable_by_key(|d| d.replica);
+    devices
+        .iter()
+        .map(|d| match d.measurement {
+            Some(m) => Candidate::new(
+                d.replica,
+                d.power,
+                measurements.binary_search(&m).expect("bucket exists"),
+                true,
+            ),
+            None => Candidate::new(d.replica, d.power, measurements.len(), false),
+        })
+        .collect()
+}
+
+/// Runs `f` until a fixed time budget (and a minimum iteration count) is
+/// met, returning the rate — per-sample jitter amortises over the budget
+/// instead of over a handful of iterations.
+fn rate_per_sec<F: FnMut()>(mut f: F) -> f64 {
+    const MIN_ITERS: u32 = 5;
+    const BUDGET: std::time::Duration = std::time::Duration::from_millis(800);
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while iters < MIN_ITERS || start.elapsed() < BUDGET {
+        f();
+        iters += 1;
+    }
+    f64::from(iters) / start.elapsed().as_secs_f64()
+}
+
+fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize) -> ServingStats {
+    let snapshot_selections_per_sec = rate_per_sec(|| {
+        black_box(snapshot.select_greedy(k));
+    });
+    let rebuild_selections_per_sec = rate_per_sec(|| {
+        black_box(greedy_diverse(&build_candidates(oracle), k));
+    });
+
+    let queries = 100_000u32;
+    let start = Instant::now();
+    for _ in 0..queries {
+        black_box(snapshot.entropy_bits(true).ok());
+        black_box(snapshot.total_effective_power());
+    }
+    let monitor_query_ns = start.elapsed().as_nanos() as f64 / f64::from(queries);
+
+    ServingStats {
+        snapshot_selections_per_sec,
+        rebuild_selections_per_sec,
+        monitor_query_ns,
+    }
+}
+
+fn render_fleet_json(
+    mode: &str,
+    cfg: &ChurnTraceConfig,
+    ingest: &[IngestRow],
+    mixed: &[MixedRow],
+    serving: &ServingStats,
+    snapshot: &EpochSnapshot,
+    gates: &Gates,
+) -> String {
+    let scaling = |f: fn(&IngestRow) -> f64| {
+        let one = ingest.iter().find(|r| r.shards == 1).expect("shards=1 row");
+        let eight = ingest.iter().find(|r| r.shards == 8).expect("shards=8 row");
+        f(eight) / f(one)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "    \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "    \"devices\": {},", cfg.devices);
+    let _ = writeln!(out, "    \"trace_ops\": {},", cfg.total_ops());
+    let _ = writeln!(
+        out,
+        "    \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(out, "    \"ingest\": [");
+    for (i, r) in ingest.iter().enumerate() {
+        let comma = if i + 1 < ingest.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"shards\": {}, \"measured_ops_per_sec\": {:.0}, \
+             \"critical_path_ops_per_sec\": {:.0}}}{comma}",
+            r.shards, r.measured_ops_per_sec, r.critical_path_ops_per_sec
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(
+        out,
+        "    \"ingest_scaling_8v1_measured\": {:.2},",
+        scaling(|r| r.measured_ops_per_sec)
+    );
+    let _ = writeln!(
+        out,
+        "    \"ingest_scaling_8v1_critical_path\": {:.2},",
+        scaling(|r| r.critical_path_ops_per_sec)
+    );
+    let _ = writeln!(out, "    \"mixed_90_10\": [");
+    for (i, r) in mixed.iter().enumerate() {
+        let comma = if i + 1 < mixed.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"shards\": {}, \"ops_per_sec\": {:.0}}}{comma}",
+            r.shards, r.ops_per_sec
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"serving\": {{");
+    let _ = writeln!(
+        out,
+        "      \"snapshot_selections_per_sec\": {:.1},",
+        serving.snapshot_selections_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"rebuild_selections_per_sec\": {:.1},",
+        serving.rebuild_selections_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"roster_amortization_speedup\": {:.2},",
+        serving.snapshot_selections_per_sec / serving.rebuild_selections_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"monitor_query_ns\": {:.1}",
+        serving.monitor_query_ns
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"snapshot\": {{");
+    let _ = writeln!(
+        out,
+        "      \"registered_devices\": {},",
+        snapshot.device_count()
+    );
+    let _ = writeln!(
+        out,
+        "      \"entropy_bits\": {:.12},",
+        snapshot.entropy_bits(true).unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        out,
+        "      \"content_hash\": \"{}\",",
+        snapshot.content_hash()
+    );
+    let _ = writeln!(
+        out,
+        "      \"hash_identical_across_shard_counts\": {}",
+        gates.hash_invariant
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"oracle_bit_exact\": {}", gates.oracle_bit_exact);
+    let _ = write!(out, "  }}");
+    out
+}
+
+/// Splices the fleet section into `BENCH_perf.json` (replacing any earlier
+/// fleet section, so re-runs are idempotent) without disturbing the
+/// sections the `perf` binary owns. The fleet section is by construction
+/// the file's *last* key — `perf` rewrites the file wholesale and this
+/// binary always appends at the end — so everything from the `"fleet"` key
+/// on is ours to replace. The cut happens at the comma *preceding* the
+/// key, so a reformatted file (different whitespace around the separator)
+/// still replaces cleanly instead of accumulating duplicate keys.
+fn splice_fleet_section(existing: &str, fleet_json: &str) -> String {
+    let base = match existing.find("\"fleet\"") {
+        Some(key) => match existing[..key].rfind(',') {
+            Some(comma) => format!("{}\n}}\n", existing[..comma].trim_end()),
+            None => existing.to_string(),
+        },
+        None => existing.to_string(),
+    };
+    let trimmed = base.trim_end();
+    let without_brace = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_perf.json ends with a JSON object");
+    format!(
+        "{},\n  \"fleet\": {}\n}}\n",
+        without_brace.trim_end(),
+        fleet_json
+    )
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let cfg = if smoke {
+        ChurnTraceConfig::new(10_000, 15_000)
+    } else {
+        ChurnTraceConfig::new(100_000, 150_000)
+    };
+    let k = 64;
+
+    println!(
+        "fi-bench fleet ({mode} mode: {} devices, {} trace ops, seed {})",
+        cfg.devices,
+        cfg.total_ops(),
+        cfg.seed
+    );
+    let trace = churn_trace(&cfg);
+
+    println!("== ingest throughput (shard sweep) ==");
+    let mut ingest = Vec::new();
+    let mut hashes = Vec::new();
+    for shards in SHARD_COUNTS {
+        let (measured, hash) = measure_parallel_ingest(&trace, shards);
+        let critical = measure_critical_path(&trace, shards);
+        println!(
+            "  shards={shards}: measured {measured:>12.0} ops/s | critical path {critical:>12.0} ops/s"
+        );
+        hashes.push(hash);
+        ingest.push(IngestRow {
+            shards,
+            measured_ops_per_sec: measured,
+            critical_path_ops_per_sec: critical,
+        });
+    }
+    let hash_invariant = hashes.windows(2).all(|w| w[0] == w[1]);
+
+    println!("== mixed 90/10 read/write serving loop ==");
+    let mixed: Vec<MixedRow> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let ops_per_sec = measure_mixed(&trace, shards);
+            println!("  shards={shards}: {ops_per_sec:>12.0} ops/s");
+            MixedRow {
+                shards,
+                ops_per_sec,
+            }
+        })
+        .collect();
+
+    // The single-threaded oracle: the whole trace through one registry.
+    let mut oracle = AttestedRegistry::new(weights());
+    oracle.apply_batch(&trace);
+    let oracle_snapshot = EpochSnapshot::from_registry(&oracle, 1);
+    let oracle_bit_exact = hashes.iter().all(|&h| h == oracle_snapshot.content_hash());
+
+    println!("== serving reads over the sealed snapshot ==");
+    let final_fleet = ShardedFleet::new(8, weights());
+    final_fleet.ingest_batch(&trace);
+    let snapshot = final_fleet.seal_epoch();
+    let serving = measure_serving(&snapshot, &oracle, k);
+    println!(
+        "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | monitor query {:.0} ns",
+        serving.snapshot_selections_per_sec,
+        serving.rebuild_selections_per_sec,
+        serving.snapshot_selections_per_sec / serving.rebuild_selections_per_sec,
+        serving.monitor_query_ns
+    );
+
+    let gates = Gates {
+        hash_invariant,
+        oracle_bit_exact,
+    };
+    let fleet_json = render_fleet_json(mode, &cfg, &ingest, &mixed, &serving, &snapshot, &gates);
+    let path = repo_root().join("BENCH_perf.json");
+    let existing = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        format!("{{\n  \"schema\": \"fi-bench/perf/v1\",\n  \"mode\": \"{mode}\"\n}}\n")
+    });
+    match std::fs::write(&path, splice_fleet_section(&existing, &fleet_json)) {
+        Ok(()) => println!("appended fleet section to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !hash_invariant {
+        eprintln!("FAIL: snapshot content hash differs across shard counts");
+        return ExitCode::FAILURE;
+    }
+    if !oracle_bit_exact {
+        eprintln!("FAIL: sharded snapshots diverged from the single-threaded oracle");
+        return ExitCode::FAILURE;
+    }
+    if snapshot.content_hash() != oracle_snapshot.content_hash() {
+        eprintln!("FAIL: serving snapshot diverged from the oracle");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -25,7 +25,12 @@
 //! (diversity-enforcing committee selection, §V's two-tier sketch) —
 //! plus [`fi_scenarios`], the declarative adversary-scenario model and
 //! multi-threaded campaign runner that sweeps resilience grids across all
-//! three substrates (`cargo run --release -p fi-bench --bin scenarios`).
+//! three substrates (`cargo run --release -p fi-bench --bin scenarios`),
+//! and [`fi_fleet`], the sharded epoch-snapshot serving layer that runs
+//! the attestation→selection pipeline concurrently at fleet scale
+//! ([`DiversityReport::from_snapshot`] and
+//! [`Recommender::plan_for_snapshot`] are its monitoring/management
+//! read paths).
 //!
 //! ## Quickstart
 //!
@@ -82,6 +87,7 @@ pub use fi_bft;
 pub use fi_committee;
 pub use fi_config;
 pub use fi_entropy;
+pub use fi_fleet;
 pub use fi_nakamoto;
 pub use fi_scenarios;
 pub use fi_simnet;
@@ -97,6 +103,7 @@ pub mod prelude {
     pub use fi_attest::prelude::*;
     pub use fi_config::prelude::*;
     pub use fi_entropy::{AbundanceVector, Distribution};
+    pub use fi_fleet::{ChurnTraceConfig, EpochSnapshot, ShardedFleet};
     pub use fi_scenarios::prelude::*;
     pub use fi_types::{ReplicaId, SimTime, VotingPower, VulnId};
 }

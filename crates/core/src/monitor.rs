@@ -4,6 +4,7 @@ use fi_attest::{AttestedRegistry, Quote, TwoTierWeights, Verifier};
 use fi_entropy::optimal::KappaOptimality;
 use fi_entropy::renyi::min_entropy_bits;
 use fi_entropy::shannon::{effective_configurations, evenness};
+use fi_fleet::EpochSnapshot;
 use fi_types::{ReplicaId, SimTime, VotingPower};
 use serde::{Deserialize, Serialize};
 
@@ -97,20 +98,63 @@ impl DiversityMonitor {
     /// Returns [`CoreError::Entropy`] when no power is registered.
     pub fn report(&self, include_unattested: bool) -> Result<DiversityReport, CoreError> {
         let dist = self.registry.distribution(include_unattested)?;
-        let optimality = KappaOptimality::check(&dist, 1e-9);
-        Ok(DiversityReport {
-            replicas: self.registry.len(),
+        Ok(DiversityReport::from_parts(
+            &dist,
+            self.registry.len(),
+            self.registry.total_effective_power(),
+            self.registry.entropy_bits(include_unattested)?,
+        ))
+    }
+}
+
+impl DiversityReport {
+    /// Derives the full diversity report from a sealed fleet snapshot —
+    /// the serving-layer counterpart of [`DiversityMonitor::report`]: same
+    /// metric set, computed lock-free from an immutable [`EpochSnapshot`]
+    /// instead of the live registry. Because the snapshot's distribution
+    /// mirrors the registry's row order exactly, a report taken through
+    /// either path over the same fleet content agrees on every batch
+    /// metric bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Entropy`] when the snapshot holds no power.
+    pub fn from_snapshot(
+        snapshot: &EpochSnapshot,
+        include_unattested: bool,
+    ) -> Result<DiversityReport, CoreError> {
+        let dist = snapshot.distribution(include_unattested)?;
+        Ok(DiversityReport::from_parts(
+            &dist,
+            snapshot.device_count(),
+            snapshot.total_effective_power(),
+            snapshot.entropy_bits(include_unattested)?,
+        ))
+    }
+
+    /// The shared constructor both report paths use: every distribution-
+    /// derived metric comes from one place, so the registry and snapshot
+    /// paths cannot drift.
+    fn from_parts(
+        dist: &fi_entropy::Distribution,
+        replicas: usize,
+        total_effective_power: VotingPower,
+        entropy_bits: f64,
+    ) -> DiversityReport {
+        let optimality = KappaOptimality::check(dist, 1e-9);
+        DiversityReport {
+            replicas,
             configurations: dist.support_size(),
-            total_effective_power: self.registry.total_effective_power(),
-            entropy_bits: self.registry.entropy_bits(include_unattested)?,
-            min_entropy_bits: min_entropy_bits(&dist),
-            effective_configurations: effective_configurations(&dist),
-            evenness: evenness(&dist),
+            total_effective_power,
+            entropy_bits,
+            min_entropy_bits: min_entropy_bits(dist),
+            effective_configurations: effective_configurations(dist),
+            evenness: evenness(dist),
             kappa: optimality.kappa(),
             kappa_optimal: optimality.is_optimal(),
             entropy_deficit_bits: optimality.entropy_deficit_bits(),
             worst_configuration_share: dist.max_probability(),
-        })
+        }
     }
 }
 
@@ -275,6 +319,50 @@ mod tests {
         assert_eq!(with.configurations, 2);
         assert!(with.entropy_bits > without.entropy_bits);
         assert_eq!(with.replicas, 2);
+    }
+
+    #[test]
+    fn snapshot_report_matches_registry_report() {
+        let device = TrustedDevice::new(DeviceKind::Tpm20, 0);
+        let mut m = monitor_with_roots(&[&device]);
+        attest_cycle(&mut m, &device, 0, b"cfg-a", 700);
+        attest_cycle(&mut m, &device, 1, b"cfg-b", 200);
+        attest_cycle(&mut m, &device, 2, b"cfg-a", 50);
+        m.ingest_unattested(ReplicaId::new(3), VotingPower::new(100));
+        let snapshot = fi_fleet::EpochSnapshot::from_registry(m.registry(), 1);
+        for include in [false, true] {
+            let via_registry = m.report(include).unwrap();
+            let via_snapshot = DiversityReport::from_snapshot(&snapshot, include).unwrap();
+            // Batch metrics come from bit-identical distributions; only the
+            // O(1) entropy read differs (canonical vs history-accumulated),
+            // within the engine's drift bound.
+            assert!(
+                (via_registry.entropy_bits - via_snapshot.entropy_bits).abs() < 1e-9,
+                "include={include}"
+            );
+            assert_eq!(via_registry.replicas, via_snapshot.replicas);
+            assert_eq!(via_registry.configurations, via_snapshot.configurations);
+            assert_eq!(
+                via_registry.total_effective_power,
+                via_snapshot.total_effective_power
+            );
+            assert_eq!(
+                via_registry.min_entropy_bits.to_bits(),
+                via_snapshot.min_entropy_bits.to_bits()
+            );
+            assert_eq!(
+                via_registry.evenness.to_bits(),
+                via_snapshot.evenness.to_bits()
+            );
+            assert_eq!(via_registry.kappa, via_snapshot.kappa);
+            assert_eq!(via_registry.kappa_optimal, via_snapshot.kappa_optimal);
+            assert_eq!(
+                via_registry.worst_configuration_share.to_bits(),
+                via_snapshot.worst_configuration_share.to_bits()
+            );
+        }
+        let empty = fi_fleet::EpochSnapshot::empty(TwoTierWeights::flat());
+        assert!(DiversityReport::from_snapshot(&empty, false).is_err());
     }
 
     #[test]

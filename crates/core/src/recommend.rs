@@ -63,22 +63,73 @@ impl Recommender {
         &self,
         assignment: &Assignment,
     ) -> Result<Vec<Recommendation>, fi_config::ConfigError> {
-        let mut working = assignment.clone();
         // Validates the no-power error case exactly as before.
-        working.entropy_bits()?;
-        let mut acc = working.entropy_accumulator();
-        // Baseline and trial entropies must come from the same formula
-        // (the accumulator's log2 W − S/W): mixing in the batch −Σ p·log p
-        // value here can differ by ~1e-15 and let a mathematically neutral
-        // move sneak past the spurious-gain gate below.
-        let mut entropy = acc.entropy_bits();
-        let k = working.space().len();
-        let mut plan = Vec::new();
+        assignment.entropy_bits()?;
+        let mut acc = assignment.entropy_accumulator();
+        let devices: Vec<(ReplicaId, usize, u64)> = assignment
+            .entries()
+            .iter()
+            .map(|e| (e.replica, e.config, e.power.as_units()))
+            .collect();
+        Ok(self.greedy_moves(&mut acc, devices, assignment.space().len()))
+    }
 
+    /// Plans re-attestation moves over a sealed fleet snapshot: which
+    /// attested devices should rotate to which *existing* measurement
+    /// bucket to maximise the fleet's configuration entropy. The serving
+    /// counterpart of [`plan`](Self::plan) — configuration indices in the
+    /// returned [`Recommendation`]s are snapshot bucket positions
+    /// ([`EpochSnapshot::buckets`](fi_fleet::EpochSnapshot::buckets)).
+    ///
+    /// The snapshot itself is never mutated (it is immutable by
+    /// construction — the plan is advice for the *next* epoch's churn
+    /// batch); the search runs on a clone of its canonical accumulator.
+    #[must_use]
+    pub fn plan_for_snapshot(&self, snapshot: &fi_fleet::EpochSnapshot) -> Vec<Recommendation> {
+        let mut acc = snapshot.entropy_accumulator().clone();
+        let k = acc.slots();
+        if k < 2 {
+            return Vec::new();
+        }
+        let attested_weight = snapshot.weights().attested();
+        // (device, current bucket, effective power): only attested devices
+        // can be steered between measurement buckets.
+        let devices: Vec<(ReplicaId, usize, u64)> = snapshot
+            .candidates()
+            .iter()
+            .filter(|c| c.attested())
+            .map(|c| {
+                (
+                    c.replica(),
+                    c.config(),
+                    c.power().scaled(attested_weight).as_units(),
+                )
+            })
+            .collect();
+        self.greedy_moves(&mut acc, devices, k)
+    }
+
+    /// The shared greedy search both planners run: at each step, score
+    /// every `(device, target configuration)` move in O(1) via
+    /// [`fi_entropy::EntropyAccumulator::peek_move`], apply the best one,
+    /// and stop at `max_moves`, below `min_gain_bits`, or when no move
+    /// strictly helps.
+    ///
+    /// Baseline and trial entropies must come from the same formula (the
+    /// accumulator's `log2 W − S/W`): mixing in the batch `−Σ p·log p`
+    /// value here can differ by ~1e-15 and let a mathematically neutral
+    /// move sneak past the spurious-gain gate.
+    fn greedy_moves(
+        &self,
+        acc: &mut fi_entropy::EntropyAccumulator,
+        mut devices: Vec<(ReplicaId, usize, u64)>,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        let mut entropy = acc.entropy_bits();
+        let mut plan = Vec::new();
         for _ in 0..self.max_moves {
-            let mut best: Option<(ReplicaId, usize, usize, f64)> = None;
-            for e in working.entries() {
-                let (replica, current, units) = (e.replica, e.config, e.power.as_units());
+            let mut best: Option<(usize, usize, f64)> = None;
+            for (i, &(_, current, units)) in devices.iter().enumerate() {
                 for target in 0..k {
                     if target == current {
                         continue;
@@ -86,25 +137,23 @@ impl Recommender {
                     let h = acc.peek_move(current, target, units);
                     let better = match best {
                         None => h > entropy,
-                        Some((_, _, _, best_h)) => h > best_h,
+                        Some((_, _, best_h)) => h > best_h,
                     };
                     if better {
-                        best = Some((replica, current, target, h));
+                        best = Some((i, target, h));
                     }
                 }
             }
-            let Some((replica, from_config, to_config, h)) = best else {
+            let Some((i, to_config, h)) = best else {
                 break;
             };
             let gain = h - entropy;
             if gain < self.min_gain_bits || gain <= 1e-12 {
                 break;
             }
-            let moved = working
-                .power_of(replica)
-                .expect("replica came from the working entries");
-            working.reassign(replica, to_config)?;
-            acc.apply_move(from_config, to_config, moved.as_units());
+            let (replica, from_config, units) = devices[i];
+            acc.apply_move(from_config, to_config, units);
+            devices[i].1 = to_config;
             entropy = h;
             plan.push(Recommendation {
                 replica,
@@ -114,7 +163,7 @@ impl Recommender {
                 gain_bits: gain,
             });
         }
-        Ok(plan)
+        plan
     }
 
     /// Applies a plan to an assignment in place.
@@ -198,6 +247,78 @@ mod tests {
         let picky = Recommender::new(32, 0.5).plan(&assignment).unwrap();
         assert!(picky.len() <= all.len());
         assert!(picky.iter().all(|r| r.gain_bits >= 0.5));
+    }
+
+    #[test]
+    fn snapshot_plan_fixes_a_skewed_fleet() {
+        use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
+        use fi_fleet::EpochSnapshot;
+        use fi_types::sha256;
+
+        // 6 devices piled onto cfg-a, 1 on cfg-b: steering devices toward
+        // cfg-b must raise entropy toward the 2-bucket optimum.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        for i in 0..6u64 {
+            reg.apply(&ChurnOp::attest(
+                ReplicaId::new(i),
+                sha256(b"cfg-a"),
+                VotingPower::new(100),
+            ));
+        }
+        reg.apply(&ChurnOp::attest(
+            ReplicaId::new(6),
+            sha256(b"cfg-b"),
+            VotingPower::new(100),
+        ));
+        let snapshot = EpochSnapshot::from_registry(&reg, 1);
+        let before = snapshot.entropy_bits(false).unwrap();
+        let plan = Recommender::default().plan_for_snapshot(&snapshot);
+        assert!(!plan.is_empty());
+        for rec in &plan {
+            assert!(rec.gain_bits > 0.0);
+            assert!(rec.to_config < snapshot.buckets().len());
+        }
+        let after = plan.last().unwrap().entropy_after;
+        assert!(after > before);
+        // 700 units over two buckets: the optimum is ~log2(2) with a 400/300
+        // split being the closest integer-device partition.
+        assert!(after > 0.98, "entropy_after = {after}");
+        // The snapshot itself is untouched.
+        assert_eq!(snapshot.entropy_bits(false).unwrap(), before);
+    }
+
+    #[test]
+    fn snapshot_plan_on_balanced_or_degenerate_fleets_is_empty() {
+        use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
+        use fi_fleet::EpochSnapshot;
+        use fi_types::sha256;
+
+        // Already balanced: no move helps.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        for i in 0..4u64 {
+            reg.apply(&ChurnOp::attest(
+                ReplicaId::new(i),
+                sha256(format!("cfg-{i}").as_bytes()),
+                VotingPower::new(100),
+            ));
+        }
+        let snapshot = EpochSnapshot::from_registry(&reg, 1);
+        assert!(Recommender::default()
+            .plan_for_snapshot(&snapshot)
+            .is_empty());
+        // A single bucket (or an empty fleet) has nowhere to move to.
+        let mut mono = AttestedRegistry::new(TwoTierWeights::flat());
+        mono.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            VotingPower::new(100),
+        ));
+        assert!(Recommender::default()
+            .plan_for_snapshot(&EpochSnapshot::from_registry(&mono, 1))
+            .is_empty());
+        assert!(Recommender::default()
+            .plan_for_snapshot(&EpochSnapshot::empty(TwoTierWeights::flat()))
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! The sharded write side: parallel churn ingest and the epoch barrier.
+//!
+//! A [`ShardedFleet`] owns `N` [`AttestedRegistry`] shards, each behind its
+//! own mutex. Devices are assigned to shards by id, so a batch of
+//! [`ChurnOp`]s splits into `N` independent sub-batches that workers apply
+//! concurrently — shards share no state, and since every op touches exactly
+//! one device (and integer bucket sums commute across devices), the fleet's
+//! end state depends only on each device's own op order, which sharding
+//! preserves. That is the thread-count-invariance guarantee the
+//! differential suite pins down: **any** shard count in any thread schedule
+//! seals to a bit-identical [`EpochSnapshot`].
+//!
+//! [`seal_epoch`](ShardedFleet::seal_epoch) is the write→read barrier: it
+//! waits for in-flight batches to land (a batch gate makes whole batches
+//! atomic with respect to the cut, even when their sub-batches touch
+//! different shards), locks all shards for one consistent cut, merges
+//! their buckets and device rosters into a canonical snapshot, and
+//! publishes it. Sealers serialise through a dedicated mutex, so epoch
+//! numbers are monotone and snapshots are published in epoch order even
+//! under concurrent seal calls. Reader threads grab the current
+//! `Arc<EpochSnapshot>` once per query burst and then run committee
+//! selection and monitoring entirely lock-free on the immutable snapshot
+//! while ingest continues on the shards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
+use fi_types::{ReplicaId, VotingPower};
+
+use crate::snapshot::EpochSnapshot;
+
+/// A sharded, epoch-based fleet of attested devices.
+///
+/// # Example
+///
+/// ```
+/// use fi_attest::{ChurnOp, TwoTierWeights};
+/// use fi_fleet::ShardedFleet;
+/// use fi_types::{sha256, ReplicaId, VotingPower};
+///
+/// let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+/// let ops: Vec<ChurnOp> = (0..16u64)
+///     .map(|i| ChurnOp::attest(
+///         ReplicaId::new(i),
+///         sha256(format!("cfg-{}", i % 4).as_bytes()),
+///         VotingPower::new(100),
+///     ))
+///     .collect();
+/// fleet.ingest_batch(&ops);
+/// let snapshot = fleet.seal_epoch();
+/// assert_eq!(snapshot.epoch(), 1);
+/// assert_eq!(snapshot.device_count(), 16);
+/// assert!((snapshot.entropy_bits(false)? - 2.0).abs() < 1e-12);
+/// # Ok::<(), fi_entropy::DistributionError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedFleet {
+    shards: Vec<Mutex<AttestedRegistry>>,
+    weights: TwoTierWeights,
+    epoch: AtomicU64,
+    current: RwLock<Arc<EpochSnapshot>>,
+    /// Held shared by every ingest call for its whole batch and
+    /// exclusively by the sealer's cut, so a batch whose sub-batches land
+    /// on different shards is atomic with respect to the epoch cut.
+    batch_gate: RwLock<()>,
+    /// Serialises sealers: epoch assignment and snapshot publication
+    /// happen under this lock, so concurrent seals cannot publish out of
+    /// epoch order.
+    seal_lock: Mutex<()>,
+}
+
+impl ShardedFleet {
+    /// Creates a fleet with `shard_count` registry shards under the given
+    /// tier weights, serving an empty epoch-zero snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    #[must_use]
+    pub fn new(shard_count: usize, weights: TwoTierWeights) -> Self {
+        assert!(shard_count > 0, "a fleet needs at least one shard");
+        ShardedFleet {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(AttestedRegistry::new(weights)))
+                .collect(),
+            weights,
+            epoch: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(EpochSnapshot::empty(weights))),
+            batch_gate: RwLock::new(()),
+            seal_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of registry shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tier weights in force.
+    #[must_use]
+    pub fn weights(&self) -> TwoTierWeights {
+        self.weights
+    }
+
+    /// Which shard owns `replica` — a pure function of the device id, so a
+    /// device's ops always serialise through one shard.
+    #[must_use]
+    pub fn shard_of(&self, replica: ReplicaId) -> usize {
+        (replica.as_u64() % self.shards.len() as u64) as usize
+    }
+
+    /// Ingests one churn batch, fanned out across the shards in parallel
+    /// (one worker per shard with work; the single-shard fleet applies
+    /// inline). Relative op order *per device* is preserved, which is the
+    /// only order the end state depends on. The whole batch is atomic with
+    /// respect to [`seal_epoch`](Self::seal_epoch): a concurrent seal
+    /// observes either none or all of it.
+    pub fn ingest_batch(&self, ops: &[ChurnOp]) {
+        let _gate = self
+            .batch_gate
+            .read()
+            .expect("no sealer panicked holding the batch gate");
+        if self.shards.len() == 1 {
+            self.shards[0]
+                .lock()
+                .expect("no ingest worker panicked holding a shard lock")
+                .apply_batch(ops);
+            return;
+        }
+        let mut per_shard: Vec<Vec<ChurnOp>> = vec![Vec::new(); self.shards.len()];
+        for op in ops {
+            per_shard[self.shard_of(op.replica())].push(*op);
+        }
+        std::thread::scope(|scope| {
+            for (shard, shard_ops) in self.shards.iter().zip(&per_shard) {
+                if shard_ops.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    shard
+                        .lock()
+                        .expect("no ingest worker panicked holding a shard lock")
+                        .apply_batch(shard_ops);
+                });
+            }
+        });
+    }
+
+    /// Ingests one churn batch on the calling thread only (no worker
+    /// fan-out), still through the shard structure and still atomic with
+    /// respect to the epoch cut. The perf harness uses this as the
+    /// like-for-like single-thread baseline.
+    pub fn ingest_batch_serial(&self, ops: &[ChurnOp]) {
+        let _gate = self
+            .batch_gate
+            .read()
+            .expect("no sealer panicked holding the batch gate");
+        for op in ops {
+            self.shards[self.shard_of(op.replica())]
+                .lock()
+                .expect("no ingest worker panicked holding a shard lock")
+                .apply(op);
+        }
+    }
+
+    /// Number of registered devices across all shards.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("no ingest worker panicked holding a shard lock")
+                    .len()
+            })
+            .sum()
+    }
+
+    /// The write→read barrier: waits for in-flight batches, takes one
+    /// consistent cut across all shards (locking them in index order),
+    /// merges measurement buckets, opaque power, and device rosters, and
+    /// publishes the canonical [`EpochSnapshot`] for lock-free serving.
+    /// Returns the sealed snapshot.
+    ///
+    /// Concurrent sealers serialise: epoch numbers are assigned in cut
+    /// order and snapshots are published in epoch order, so `current`
+    /// never moves backwards.
+    pub fn seal_epoch(&self) -> Arc<EpochSnapshot> {
+        // Serialise sealers end to end — cut, epoch assignment, and
+        // publication happen as one ordered unit per seal.
+        let _seal = self
+            .seal_lock
+            .lock()
+            .expect("no sealer panicked holding the seal lock");
+        // Exclude in-flight batches so a batch whose sub-batches land on
+        // different shards is observed either fully or not at all, then
+        // sweep the shard locks for the cut. Ingest holds the gate shared
+        // and then locks one shard per worker; the sealer takes the gate
+        // exclusively *before* any shard lock, so the orderings cannot
+        // deadlock.
+        let guards: Vec<_> = {
+            let _gate = self
+                .batch_gate
+                .write()
+                .expect("no ingest call panicked holding the batch gate");
+            self.shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("no ingest worker panicked holding a shard lock")
+                })
+                .collect()
+        };
+        let mut rows = std::collections::BTreeMap::new();
+        let mut opaque = VotingPower::ZERO;
+        let mut devices = Vec::new();
+        for shard in &guards {
+            for (m, p) in shard.bucket_rows() {
+                *rows.entry(m).or_insert(VotingPower::ZERO) += p;
+            }
+            opaque += shard.unattested_power();
+            devices.extend(shard.devices());
+        }
+        drop(guards);
+
+        // Still under the seal lock: the expensive canonical build blocks
+        // other sealers (preserving epoch order) but neither readers nor
+        // ingest.
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = Arc::new(EpochSnapshot::build(
+            epoch,
+            self.weights,
+            rows,
+            opaque,
+            devices,
+        ));
+        *self
+            .current
+            .write()
+            .expect("no reader panicked holding the snapshot lock") = Arc::clone(&snapshot);
+        snapshot
+    }
+
+    /// The currently served snapshot. Readers clone the `Arc` under a brief
+    /// read lock; every query on the snapshot itself is then lock-free.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(
+            &self
+                .current
+                .read()
+                .expect("no reader panicked holding the snapshot lock"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_types::sha256;
+
+    fn ops(n: u64) -> Vec<ChurnOp> {
+        (0..n)
+            .map(|i| {
+                ChurnOp::attest(
+                    ReplicaId::new(i),
+                    sha256(format!("cfg-{}", i % 5).as_bytes()),
+                    VotingPower::new(10 + i % 7),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_fleet_serves_the_empty_epoch() {
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        let snap = fleet.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.device_count(), 0);
+        assert_eq!(fleet.device_count(), 0);
+        assert_eq!(fleet.shard_count(), 4);
+    }
+
+    #[test]
+    fn shard_counts_seal_bit_identical_snapshots() {
+        let trace = ops(64);
+        let mut hashes = Vec::new();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let fleet = ShardedFleet::new(shards, TwoTierWeights::flat());
+            for batch in trace.chunks(10) {
+                fleet.ingest_batch(batch);
+            }
+            let snap = fleet.seal_epoch();
+            assert_eq!(snap.device_count(), 64);
+            hashes.push((
+                snap.content_hash(),
+                snap.entropy_bits(false).unwrap().to_bits(),
+            ));
+        }
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "snapshots diverged across shard counts: {hashes:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_ingest_agree() {
+        let trace = ops(40);
+        let parallel = ShardedFleet::new(4, TwoTierWeights::flat());
+        parallel.ingest_batch(&trace);
+        let serial = ShardedFleet::new(4, TwoTierWeights::flat());
+        serial.ingest_batch_serial(&trace);
+        assert_eq!(
+            parallel.seal_epoch().content_hash(),
+            serial.seal_epoch().content_hash()
+        );
+    }
+
+    #[test]
+    fn seal_publishes_and_increments_epochs() {
+        let fleet = ShardedFleet::new(2, TwoTierWeights::flat());
+        fleet.ingest_batch(&ops(8));
+        let first = fleet.seal_epoch();
+        assert_eq!(first.epoch(), 1);
+        assert_eq!(fleet.snapshot().epoch(), 1);
+        fleet.ingest_batch(&[ChurnOp::Deregister {
+            replica: ReplicaId::new(0),
+        }]);
+        let second = fleet.seal_epoch();
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(second.device_count(), 7);
+        // The first snapshot is immutable — readers holding it are unaffected.
+        assert_eq!(first.device_count(), 8);
+        assert_ne!(first.content_hash(), second.content_hash());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_total() {
+        let fleet = ShardedFleet::new(8, TwoTierWeights::flat());
+        for i in 0..100u64 {
+            let shard = fleet.shard_of(ReplicaId::new(i));
+            assert!(shard < 8);
+            assert_eq!(shard, fleet.shard_of(ReplicaId::new(i)));
+        }
+    }
+
+    #[test]
+    fn concurrent_ingest_while_sealing_is_safe() {
+        // Smoke the lock discipline: batches land while another thread
+        // seals repeatedly. Every device's ops live in one batch, so the
+        // final sealed state is independent of the interleaving.
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        let trace = ops(200);
+        std::thread::scope(|scope| {
+            let fleet = &fleet;
+            scope.spawn(move || {
+                for batch in trace.chunks(20) {
+                    fleet.ingest_batch(batch);
+                }
+            });
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let _ = fleet.seal_epoch();
+                }
+            });
+        });
+        let final_snap = fleet.seal_epoch();
+        assert_eq!(final_snap.device_count(), 200);
+        let oracle = ShardedFleet::new(1, TwoTierWeights::flat());
+        oracle.ingest_batch(&ops(200));
+        assert_eq!(
+            final_snap.content_hash(),
+            oracle.seal_epoch().content_hash()
+        );
+    }
+
+    #[test]
+    fn concurrent_sealers_publish_in_epoch_order() {
+        // Several threads seal while churn lands: every sealed epoch is
+        // distinct, and the served snapshot ends on the *latest* epoch —
+        // publication never goes backwards.
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        let trace = ops(120);
+        let sealed_epochs = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let fleet = &fleet;
+            let sealed_epochs = &sealed_epochs;
+            scope.spawn(move || {
+                for batch in trace.chunks(12) {
+                    fleet.ingest_batch(batch);
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let epoch = fleet.seal_epoch().epoch();
+                        sealed_epochs.lock().unwrap().push(epoch);
+                    }
+                });
+            }
+        });
+        let mut epochs = sealed_epochs.into_inner().unwrap();
+        epochs.sort_unstable();
+        assert_eq!(epochs, (1..=12).collect::<Vec<u64>>());
+        assert_eq!(fleet.snapshot().epoch(), 12);
+        // Sealing once more at quiescence observes everything.
+        let final_snap = fleet.seal_epoch();
+        assert_eq!(final_snap.epoch(), 13);
+        assert_eq!(final_snap.device_count(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedFleet::new(0, TwoTierWeights::flat());
+    }
+}

@@ -1,0 +1,79 @@
+//! # `fi-fleet` — the sharded, epoch-based serving layer
+//!
+//! The paper's pipeline (attested registry → entropy metrics → diverse
+//! committee selection) is, as library calls, single-threaded. This crate
+//! is the concurrency architecture that serves it at fleet scale: device
+//! churn — register, re-attest, rotate, deregister — arrives as batches of
+//! [`ChurnOp`]s (`fi_attest`) and is ingested in parallel across `N`
+//! registry shards keyed by device id, while committee selection and
+//! diversity monitoring read from immutable [`EpochSnapshot`]s published at
+//! [`seal_epoch`](ShardedFleet::seal_epoch) barriers.
+//!
+//! ## Model
+//!
+//! * A [`ShardedFleet`] owns `N` [`fi_attest::AttestedRegistry`] shards,
+//!   each maintaining its incremental entropy buckets
+//!   ([`fi_entropy::EntropyAccumulator`]) in O(1) per op.
+//! * [`ShardedFleet::ingest_batch`] splits a batch by `device id mod N` and
+//!   applies the sub-batches concurrently. Shards share nothing; each
+//!   device's op order is preserved, and that is the only order the end
+//!   state depends on.
+//! * [`ShardedFleet::seal_epoch`] takes a consistent cut across all
+//!   shards and merges them into a canonical [`EpochSnapshot`]: sorted
+//!   measurement buckets, total effective power, a rebuilt accumulator, a
+//!   prebuilt committee-candidate roster, and a stable content hash.
+//! * Readers clone the current `Arc<EpochSnapshot>` and run
+//!   [`select_greedy`](EpochSnapshot::select_greedy),
+//!   [`select_two_tier`](EpochSnapshot::select_two_tier), and monitoring
+//!   queries lock-free while ingest continues.
+//!
+//! **Thread-invariance guarantee:** the sealed snapshot — every bucket,
+//! the entropy, the roster, the content hash — is bit-identical for any
+//! shard count and any thread schedule, and bit-identical to sealing one
+//! un-sharded registry that applied the same trace
+//! ([`EpochSnapshot::from_registry`]). The differential suite in
+//! `tests/fleet_differential.rs` and the committed golden in
+//! `tests/goldens/fleet_snapshot.json` (repo root) pin this down.
+//!
+//! ## Example
+//!
+//! ```
+//! use fi_attest::TwoTierWeights;
+//! use fi_fleet::{churn_trace, ChurnTraceConfig, ShardedFleet};
+//!
+//! let trace = churn_trace(&ChurnTraceConfig::new(500, 1_000));
+//! let fleet = ShardedFleet::new(4, TwoTierWeights::default());
+//! for batch in trace.chunks(256) {
+//!     fleet.ingest_batch(batch);
+//! }
+//! let snapshot = fleet.seal_epoch();
+//! let committee = snapshot.select_greedy(32);
+//! assert_eq!(committee.len(), 32);
+//! // Any other shard count seals the bit-identical snapshot.
+//! let oracle = ShardedFleet::new(1, TwoTierWeights::default());
+//! oracle.ingest_batch(&trace);
+//! assert_eq!(oracle.seal_epoch().content_hash(), snapshot.content_hash());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod snapshot;
+pub mod trace;
+
+pub use fleet::ShardedFleet;
+pub use snapshot::EpochSnapshot;
+pub use trace::{churn_trace, measurement_pool, ChurnTraceConfig};
+
+// The ingest vocabulary is fi-attest's; re-export it so fleet users need
+// one import.
+pub use fi_attest::ChurnOp;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::fleet::ShardedFleet;
+    pub use crate::snapshot::EpochSnapshot;
+    pub use crate::trace::{churn_trace, measurement_pool, ChurnTraceConfig};
+    pub use fi_attest::ChurnOp;
+}

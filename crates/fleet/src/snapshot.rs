@@ -1,0 +1,487 @@
+//! Immutable, canonical epoch snapshots of the attested fleet.
+//!
+//! An [`EpochSnapshot`] is the read side of the serving layer: everything
+//! the committee selectors and the diversity monitor need, merged from the
+//! write-side registry shards at a [`seal_epoch`](crate::ShardedFleet::seal_epoch)
+//! barrier and then never mutated again. Readers share it through an `Arc`
+//! and query it without taking any lock.
+//!
+//! **Canonical construction is the determinism guarantee.** Registry shards
+//! accumulate floating-point state (`Σ w·log2 w`) along whatever operation
+//! history they saw, so two shardings of the same churn trace hold
+//! bit-different accumulators even though their *integer* bucket contents
+//! agree exactly. The snapshot therefore rebuilds its
+//! [`EntropyAccumulator`] from the merged integer buckets in sorted
+//! measurement order — a pure function of fleet *content* — which makes
+//! every derived quantity (entropy, total power, candidate roster,
+//! [`content_hash`](EpochSnapshot::content_hash)) bit-identical across
+//! shard and thread counts, and bit-identical to sealing a single
+//! un-sharded [`AttestedRegistry`] via
+//! [`EpochSnapshot::from_registry`].
+
+use std::collections::BTreeMap;
+
+use fi_attest::{AttestedRegistry, RegisteredDevice, TwoTierWeights};
+use fi_committee::{greedy_diverse, two_tier_weighted, Candidate, Committee};
+use fi_entropy::{Distribution, DistributionError, EntropyAccumulator};
+use fi_types::hash::Sha256;
+use fi_types::{Digest, VotingPower};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// An immutable, sealed view of the whole fleet at one epoch: merged
+/// measurement buckets, a prebuilt entropy accumulator, the sorted device
+/// roster as committee candidates, and a stable content hash.
+///
+/// # Example
+///
+/// ```
+/// use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
+/// use fi_fleet::EpochSnapshot;
+/// use fi_types::{sha256, ReplicaId, VotingPower};
+///
+/// let mut registry = AttestedRegistry::new(TwoTierWeights::flat());
+/// for i in 0..4u64 {
+///     registry.apply(&ChurnOp::attest(
+///         ReplicaId::new(i),
+///         sha256(format!("cfg-{i}").as_bytes()),
+///         VotingPower::new(100),
+///     ));
+/// }
+/// let snapshot = EpochSnapshot::from_registry(&registry, 1);
+/// assert_eq!(snapshot.device_count(), 4);
+/// assert!((snapshot.entropy_bits(false)? - 2.0).abs() < 1e-12);
+/// let committee = snapshot.select_greedy(3);
+/// assert_eq!(committee.len(), 3);
+/// # Ok::<(), fi_entropy::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    weights: TwoTierWeights,
+    /// Live measurement buckets with summed effective attested power,
+    /// sorted by measurement digest (zero-power buckets with registered
+    /// members included).
+    buckets: Vec<(Digest, VotingPower)>,
+    /// Total effective power of the unattested tier.
+    opaque: VotingPower,
+    /// Every registered device, sorted by replica id.
+    devices: Vec<RegisteredDevice>,
+    /// The prebuilt serving roster: one candidate per device, configuration
+    /// index = position of its measurement in `buckets` (unattested devices
+    /// share the pseudo-configuration `buckets.len()`).
+    candidates: Vec<Candidate>,
+    /// Canonical accumulator over `buckets`, in bucket order.
+    acc: EntropyAccumulator,
+    content_hash: Digest,
+}
+
+impl EpochSnapshot {
+    /// The canonical builder all sealing paths share: merged bucket rows
+    /// (keyed — hence sorted — by digest), the summed opaque power, and the
+    /// collected device roster (sorted here).
+    pub(crate) fn build(
+        epoch: u64,
+        weights: TwoTierWeights,
+        rows: BTreeMap<Digest, VotingPower>,
+        opaque: VotingPower,
+        mut devices: Vec<RegisteredDevice>,
+    ) -> EpochSnapshot {
+        let buckets: Vec<(Digest, VotingPower)> = rows.into_iter().collect();
+        devices.sort_unstable_by_key(|d| d.replica);
+
+        let acc = EntropyAccumulator::from_weights(
+            &buckets
+                .iter()
+                .map(|&(_, p)| p.as_units())
+                .collect::<Vec<_>>(),
+        );
+
+        let opaque_slot = buckets.len();
+        let candidates = devices
+            .iter()
+            .map(|d| {
+                let (config, attested) = match d.measurement {
+                    Some(m) => (
+                        buckets
+                            .binary_search_by_key(&m, |&(digest, _)| digest)
+                            .expect("every attested device's measurement has a bucket"),
+                        true,
+                    ),
+                    None => (opaque_slot, false),
+                };
+                Candidate::new(d.replica, d.power, config, attested)
+            })
+            .collect();
+
+        let content_hash = Self::hash_content(&buckets, opaque, &devices);
+        EpochSnapshot {
+            epoch,
+            weights,
+            buckets,
+            opaque,
+            devices,
+            candidates,
+            acc,
+            content_hash,
+        }
+    }
+
+    /// Digest over the canonical content: sorted buckets, opaque power, and
+    /// the sorted device roster. Deliberately excludes the epoch counter —
+    /// two epochs with identical fleet content hash identically.
+    fn hash_content(
+        buckets: &[(Digest, VotingPower)],
+        opaque: VotingPower,
+        devices: &[RegisteredDevice],
+    ) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"fi-fleet/epoch-snapshot-v1");
+        h.update((buckets.len() as u64).to_be_bytes());
+        for (m, p) in buckets {
+            h.update(m.as_bytes());
+            h.update(p.as_units().to_be_bytes());
+        }
+        h.update(opaque.as_units().to_be_bytes());
+        h.update((devices.len() as u64).to_be_bytes());
+        for d in devices {
+            h.update(d.replica.as_u64().to_be_bytes());
+            h.update(d.power.as_units().to_be_bytes());
+            match d.measurement {
+                Some(m) => {
+                    h.update([1]);
+                    h.update(m.as_bytes());
+                }
+                None => h.update([0]),
+            }
+        }
+        h.finalize()
+    }
+
+    /// Seals a single, un-sharded registry — the differential oracle's path
+    /// into snapshot space, and the degenerate one-shard fleet's.
+    #[must_use]
+    pub fn from_registry(registry: &AttestedRegistry, epoch: u64) -> EpochSnapshot {
+        let mut rows: BTreeMap<Digest, VotingPower> = BTreeMap::new();
+        for (m, p) in registry.bucket_rows() {
+            *rows.entry(m).or_insert(VotingPower::ZERO) += p;
+        }
+        EpochSnapshot::build(
+            epoch,
+            registry.weights(),
+            rows,
+            registry.unattested_power(),
+            registry.devices().collect(),
+        )
+    }
+
+    /// An empty epoch-zero snapshot (what a fresh fleet serves before the
+    /// first seal).
+    #[must_use]
+    pub fn empty(weights: TwoTierWeights) -> EpochSnapshot {
+        EpochSnapshot::build(0, weights, BTreeMap::new(), VotingPower::ZERO, Vec::new())
+    }
+
+    /// The epoch counter this snapshot was sealed at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The tier weights the fleet registered power under.
+    #[must_use]
+    pub fn weights(&self) -> TwoTierWeights {
+        self.weights
+    }
+
+    /// The canonical content digest: a pure function of buckets, opaque
+    /// power, and the device roster — identical across shard and thread
+    /// counts for the same fleet content.
+    #[must_use]
+    pub fn content_hash(&self) -> Digest {
+        self.content_hash
+    }
+
+    /// Number of registered devices (both tiers).
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The merged measurement buckets, sorted by digest.
+    #[must_use]
+    pub fn buckets(&self) -> &[(Digest, VotingPower)] {
+        &self.buckets
+    }
+
+    /// Total effective power of the unattested tier.
+    #[must_use]
+    pub fn unattested_power(&self) -> VotingPower {
+        self.opaque
+    }
+
+    /// The device roster, sorted by replica id.
+    #[must_use]
+    pub fn devices(&self) -> &[RegisteredDevice] {
+        &self.devices
+    }
+
+    /// The prebuilt committee-candidate roster (sorted by replica id, raw
+    /// power, configuration index = bucket position; unattested devices
+    /// share the pseudo-configuration `buckets().len()`).
+    #[must_use]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The canonical entropy accumulator over the sorted buckets — the
+    /// O(1)-query feed for monitoring and what-if planners.
+    #[must_use]
+    pub fn entropy_accumulator(&self) -> &EntropyAccumulator {
+        &self.acc
+    }
+
+    /// Total effective (tier-weighted) power across the fleet. O(1).
+    #[must_use]
+    pub fn total_effective_power(&self) -> VotingPower {
+        VotingPower::new(self.acc.total_weight()) + self.opaque
+    }
+
+    /// Shannon entropy (bits) of the configuration distribution, O(1) off
+    /// the canonical accumulator. Error semantics mirror
+    /// [`AttestedRegistry::entropy_bits`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`DistributionError::Empty`] when no bucket (nor, if requested,
+    /// opaque row) exists; [`DistributionError::ZeroTotalWeight`] when every
+    /// row carries zero power.
+    pub fn entropy_bits(&self, include_unattested_bucket: bool) -> Result<f64, DistributionError> {
+        let opaque_row = include_unattested_bucket && !self.opaque.is_zero();
+        if self.buckets.is_empty() && !opaque_row {
+            return Err(DistributionError::Empty);
+        }
+        if self.acc.total_weight() == 0 && !opaque_row {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        Ok(if opaque_row {
+            self.acc.entropy_with_extra_bucket(self.opaque.as_units())
+        } else {
+            self.acc.entropy_bits()
+        })
+    }
+
+    /// The configuration distribution (for batch metrics: Rényi, evenness,
+    /// κ-optimality). Row order mirrors
+    /// [`AttestedRegistry::distribution`]: measurements sorted, opaque
+    /// bucket last.
+    ///
+    /// # Errors
+    ///
+    /// As [`entropy_bits`](Self::entropy_bits).
+    pub fn distribution(
+        &self,
+        include_unattested_bucket: bool,
+    ) -> Result<Distribution, DistributionError> {
+        let mut units: Vec<u64> = self.buckets.iter().map(|&(_, p)| p.as_units()).collect();
+        if include_unattested_bucket && !self.opaque.is_zero() {
+            units.push(self.opaque.as_units());
+        }
+        Distribution::from_counts(&units)
+    }
+
+    /// Greedy entropy-maximising selection over the prebuilt roster
+    /// (identical member sequence to [`greedy_diverse`] on the same
+    /// candidates). Lock-free: touches only this snapshot.
+    #[must_use]
+    pub fn select_greedy(&self, k: usize) -> Committee {
+        greedy_diverse(&self.candidates, k)
+    }
+
+    /// Two-tier attested-weighted sortition over the prebuilt roster
+    /// (identical member sequence to [`two_tier_weighted`] on the same
+    /// candidates and RNG state). Lock-free: touches only this snapshot.
+    #[must_use]
+    pub fn select_two_tier(
+        &self,
+        k: usize,
+        weights: TwoTierWeights,
+        rng: &mut StdRng,
+    ) -> Committee {
+        two_tier_weighted(&self.candidates, k, weights, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_attest::ChurnOp;
+    use fi_types::{sha256, ReplicaId};
+    use rand::SeedableRng;
+
+    fn registry_with(ops: &[ChurnOp]) -> AttestedRegistry {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        reg.apply_batch(ops);
+        reg
+    }
+
+    fn mixed_ops() -> Vec<ChurnOp> {
+        vec![
+            ChurnOp::attest(ReplicaId::new(3), sha256(b"cfg-b"), VotingPower::new(40)),
+            ChurnOp::attest(ReplicaId::new(0), sha256(b"cfg-a"), VotingPower::new(60)),
+            ChurnOp::Unattested {
+                replica: ReplicaId::new(7),
+                power: VotingPower::new(80),
+            },
+            ChurnOp::attest(ReplicaId::new(5), sha256(b"cfg-a"), VotingPower::new(20)),
+        ]
+    }
+
+    #[test]
+    fn empty_snapshot_degenerates_like_an_empty_registry() {
+        let snap = EpochSnapshot::empty(TwoTierWeights::flat());
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.device_count(), 0);
+        assert_eq!(snap.total_effective_power(), VotingPower::ZERO);
+        assert_eq!(snap.entropy_bits(false), Err(DistributionError::Empty));
+        assert_eq!(snap.entropy_bits(true), Err(DistributionError::Empty));
+        assert!(snap.select_greedy(4).is_empty());
+        let empty_reg = AttestedRegistry::new(TwoTierWeights::flat());
+        assert_eq!(snap.entropy_bits(false), empty_reg.entropy_bits(false));
+    }
+
+    #[test]
+    fn from_registry_mirrors_registry_queries() {
+        let reg = registry_with(&mixed_ops());
+        let snap = EpochSnapshot::from_registry(&reg, 1);
+        assert_eq!(snap.device_count(), reg.len());
+        assert_eq!(snap.total_effective_power(), reg.total_effective_power());
+        assert_eq!(snap.unattested_power(), reg.unattested_power());
+        // Buckets equal the registry's sorted attested rows.
+        let expected: Vec<(Digest, VotingPower)> = reg
+            .measurement_powers(false)
+            .into_iter()
+            .map(|(m, p)| (m.unwrap(), p))
+            .collect();
+        assert_eq!(snap.buckets(), &expected[..]);
+        // Entropy agrees with the registry's incrementally maintained value
+        // (same formula over the same integer buckets; histories differ, so
+        // equality is to the engine's drift bound, not bitwise).
+        for include in [false, true] {
+            let s = snap.entropy_bits(include).unwrap();
+            let r = reg.entropy_bits(include).unwrap();
+            assert!((s - r).abs() < 1e-9, "include={include}: {s} vs {r}");
+            // Batch distributions are bit-identical (same sorted rows).
+            assert_eq!(
+                snap.distribution(include).unwrap().probabilities(),
+                reg.distribution(include).unwrap().probabilities()
+            );
+        }
+    }
+
+    #[test]
+    fn roster_is_sorted_with_bucket_configs() {
+        let snap = EpochSnapshot::from_registry(&registry_with(&mixed_ops()), 1);
+        let ids: Vec<u64> = snap
+            .candidates()
+            .iter()
+            .map(|c| c.replica().as_u64())
+            .collect();
+        assert_eq!(ids, vec![0, 3, 5, 7]);
+        // cfg-a and cfg-b occupy bucket slots 0/1 in digest order; the
+        // unattested device gets the pseudo-slot 2.
+        let cfg_a_slot = snap
+            .buckets()
+            .binary_search_by_key(&sha256(b"cfg-a"), |&(m, _)| m)
+            .unwrap();
+        let by_id = |id: u64| {
+            *snap
+                .candidates()
+                .iter()
+                .find(|c| c.replica().as_u64() == id)
+                .unwrap()
+        };
+        assert_eq!(by_id(0).config(), cfg_a_slot);
+        assert_eq!(by_id(5).config(), cfg_a_slot);
+        assert!(by_id(0).attested());
+        assert_eq!(by_id(7).config(), snap.buckets().len());
+        assert!(!by_id(7).attested());
+        // Raw power, not tier-weighted: the sortition applies weights.
+        assert_eq!(by_id(7).power(), VotingPower::new(80));
+    }
+
+    #[test]
+    fn selection_over_snapshot_equals_selection_over_roster() {
+        let snap = EpochSnapshot::from_registry(&registry_with(&mixed_ops()), 1);
+        for k in 0..=5 {
+            assert_eq!(
+                snap.select_greedy(k).members(),
+                greedy_diverse(snap.candidates(), k).members()
+            );
+        }
+        let weights = TwoTierWeights::new(1.0, 0.3);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        assert_eq!(
+            snap.select_two_tier(3, weights, &mut a).members(),
+            two_tier_weighted(snap.candidates(), 3, weights, &mut b).members()
+        );
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_epoch_or_history() {
+        let reg = registry_with(&mixed_ops());
+        let a = EpochSnapshot::from_registry(&reg, 1);
+        let b = EpochSnapshot::from_registry(&reg, 99);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(b.epoch(), 99);
+
+        // A registry that took a different route to the same end state
+        // hashes identically…
+        let mut detour = registry_with(&mixed_ops());
+        detour.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-z"),
+            VotingPower::new(1),
+        ));
+        detour.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            VotingPower::new(60),
+        ));
+        assert_eq!(
+            EpochSnapshot::from_registry(&detour, 1).content_hash(),
+            a.content_hash()
+        );
+
+        // …while any content change flips the digest.
+        let mut changed = registry_with(&mixed_ops());
+        changed.apply(&ChurnOp::Deregister {
+            replica: ReplicaId::new(5),
+        });
+        assert_ne!(
+            EpochSnapshot::from_registry(&changed, 1).content_hash(),
+            a.content_hash()
+        );
+    }
+
+    #[test]
+    fn zero_power_rows_follow_registry_error_semantics() {
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        reg.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            VotingPower::ZERO,
+        ));
+        let snap = EpochSnapshot::from_registry(&reg, 1);
+        assert_eq!(snap.buckets().len(), 1);
+        assert_eq!(
+            snap.entropy_bits(false),
+            Err(DistributionError::ZeroTotalWeight)
+        );
+        assert_eq!(
+            reg.entropy_bits(false),
+            Err(DistributionError::ZeroTotalWeight)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Differential concurrency suite: random churn interleavings applied to
+//! the sharded fleet vs a single-threaded [`AttestedRegistry`] oracle.
+//!
+//! The serving layer's whole claim is that sharding and threading are pure
+//! throughput knobs: for **any** trace of register / deregister /
+//! re-register / re-attest batches and **any** shard count, the sealed
+//! [`EpochSnapshot`] is bit-identical to sealing one un-sharded registry
+//! that applied the same trace serially. These properties drive randomly
+//! generated traces through shard counts {1, 2, 4, 8} (real worker
+//! threads, real locks) and require:
+//!
+//! * per-bucket contents, opaque power, device roster, and total effective
+//!   power **bit-exact** against the oracle;
+//! * sealed-snapshot `entropy_bits` **bit-exact** across all shard counts
+//!   (canonical construction) and within the engine's `1e-9` drift bound
+//!   of the oracle registry's incrementally maintained value;
+//! * the content hash identical everywhere — including at every
+//!   intermediate epoch, not just the final one.
+
+use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
+use fi_fleet::{EpochSnapshot, ShardedFleet};
+use fi_types::{sha256, ReplicaId, VotingPower};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn weights() -> TwoTierWeights {
+    TwoTierWeights::new(1.0, 0.5)
+}
+
+/// Churn over a small device space (to force re-registration collisions)
+/// and a small measurement pool (to force cross-shard bucket merges).
+/// Zero powers are generated too — they exercise zero-weight live buckets.
+fn op_strategy() -> impl Strategy<Value = ChurnOp> {
+    (0u8..10, 0u64..24, 0usize..6, 0u64..500).prop_map(|(kind, device, m, power)| {
+        let replica = ReplicaId::new(device);
+        let measurement = sha256(format!("diff-cfg-{m}").as_bytes());
+        match kind {
+            0..=5 => ChurnOp::attest(replica, measurement, VotingPower::new(power)),
+            6..=7 => ChurnOp::Unattested {
+                replica,
+                power: VotingPower::new(power),
+            },
+            _ => ChurnOp::Deregister { replica },
+        }
+    })
+}
+
+/// Asserts a sealed fleet snapshot is bit-exact against the canonical seal
+/// of the oracle registry, and within the drift bound of the oracle's live
+/// incremental entropy.
+fn assert_snapshot_matches_oracle(
+    snap: &EpochSnapshot,
+    oracle: &AttestedRegistry,
+    shards: usize,
+) -> Result<(), TestCaseError> {
+    let oracle_snap = EpochSnapshot::from_registry(oracle, snap.epoch());
+    prop_assert_eq!(
+        snap.buckets(),
+        oracle_snap.buckets(),
+        "bucket contents diverged at {} shards",
+        shards
+    );
+    prop_assert_eq!(snap.unattested_power(), oracle_snap.unattested_power());
+    prop_assert_eq!(snap.devices(), oracle_snap.devices());
+    prop_assert_eq!(snap.total_effective_power(), oracle.total_effective_power());
+    prop_assert_eq!(
+        snap.content_hash(),
+        oracle_snap.content_hash(),
+        "content hash diverged at {} shards",
+        shards
+    );
+    for include in [false, true] {
+        // Canonical vs canonical: bit-exact, including the error cases.
+        match (
+            snap.entropy_bits(include),
+            oracle_snap.entropy_bits(include),
+        ) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+        // Canonical vs the oracle's live O(1) path: same value modulo the
+        // engine's documented float-drift bound.
+        if let (Ok(a), Ok(b)) = (snap.entropy_bits(include), oracle.entropy_bits(include)) {
+            prop_assert!(
+                (a - b).abs() < 1e-9,
+                "snapshot {} vs live registry {} (include={})",
+                a,
+                b,
+                include
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Pinned case count: the vendored proptest runner derives every case
+    // seed from the test name, so this suite is reproducible bit-for-bit.
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// End-of-trace differential: every shard count seals the bit-exact
+    /// oracle state regardless of batch partitioning.
+    #[test]
+    fn sealed_snapshots_are_bit_exact_with_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        batch in 1usize..40,
+    ) {
+        let mut oracle = AttestedRegistry::new(weights());
+        oracle.apply_batch(&ops);
+        let mut hashes = Vec::new();
+        for shards in SHARD_COUNTS {
+            let fleet = ShardedFleet::new(shards, weights());
+            for chunk in ops.chunks(batch) {
+                fleet.ingest_batch(chunk);
+            }
+            let snap = fleet.seal_epoch();
+            assert_snapshot_matches_oracle(&snap, &oracle, shards)?;
+            hashes.push(snap.content_hash());
+        }
+        prop_assert!(hashes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Mid-trace differential: seal after *every* batch, comparing against
+    /// an oracle that replayed the same prefix — re-registrations and
+    /// departures are observed while in flight, not only at quiescence.
+    #[test]
+    fn every_intermediate_epoch_matches_oracle_prefix(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        batch in 1usize..25,
+    ) {
+        let fleets: Vec<ShardedFleet> = SHARD_COUNTS
+            .iter()
+            .map(|&s| ShardedFleet::new(s, weights()))
+            .collect();
+        let mut oracle = AttestedRegistry::new(weights());
+        for chunk in ops.chunks(batch) {
+            oracle.apply_batch(chunk);
+            for (fleet, &shards) in fleets.iter().zip(&SHARD_COUNTS) {
+                fleet.ingest_batch(chunk);
+                let snap = fleet.seal_epoch();
+                assert_snapshot_matches_oracle(&snap, &oracle, shards)?;
+            }
+        }
+    }
+
+    /// The selection read path is part of the guarantee: committees chosen
+    /// over any shard count's snapshot are byte-identical to the oracle's.
+    #[test]
+    fn selections_over_snapshots_are_shard_invariant(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        k in 1usize..16,
+    ) {
+        let mut oracle = AttestedRegistry::new(weights());
+        oracle.apply_batch(&ops);
+        let oracle_committee = EpochSnapshot::from_registry(&oracle, 1).select_greedy(k);
+        for shards in SHARD_COUNTS {
+            let fleet = ShardedFleet::new(shards, weights());
+            fleet.ingest_batch(&ops);
+            let committee = fleet.seal_epoch().select_greedy(k);
+            prop_assert_eq!(committee.members(), oracle_committee.members());
+        }
+    }
+}

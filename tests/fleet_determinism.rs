@@ -1,0 +1,116 @@
+//! Fleet determinism golden: a fixed-seed 10k-device churn trace sealed
+//! through the sharded serving layer must produce one — and exactly one —
+//! snapshot, regardless of shard count, thread schedule, or batch size,
+//! and that snapshot's content hash is pinned by a committed fixture.
+//!
+//! Same pattern as `determinism_goldens.rs`: regenerate intentionally with
+//! `REGENERATE_GOLDENS=1 cargo test -p fault-independence --test
+//! fleet_determinism` after a deliberate trace/hash format change.
+
+use std::fmt::Write as _;
+
+use fault_independence::fi_attest::{AttestedRegistry, TwoTierWeights};
+use fault_independence::fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn golden_trace_config() -> ChurnTraceConfig {
+    ChurnTraceConfig {
+        devices: 10_000,
+        measurements: 64,
+        churn_ops: 20_000,
+        unattested_permille: 100,
+        seed: 424_242,
+    }
+}
+
+/// Seals the golden trace at every shard count (with a shard-dependent
+/// batch size, so partitioning varies too) and asserts all runs agree
+/// before rendering the summary the fixture pins.
+fn render_fleet_golden() -> String {
+    let cfg = golden_trace_config();
+    let trace = churn_trace(&cfg);
+
+    let mut sealed: Vec<(usize, std::sync::Arc<EpochSnapshot>)> = Vec::new();
+    for shards in SHARD_COUNTS {
+        let fleet = ShardedFleet::new(shards, TwoTierWeights::default());
+        for batch in trace.chunks(512 + 64 * shards) {
+            fleet.ingest_batch(batch);
+        }
+        sealed.push((shards, fleet.seal_epoch()));
+    }
+    let (_, reference) = &sealed[0];
+    for (shards, snap) in &sealed {
+        assert_eq!(
+            snap.content_hash(),
+            reference.content_hash(),
+            "snapshot hash diverged at {shards} shards"
+        );
+        assert_eq!(
+            snap.entropy_bits(true).unwrap().to_bits(),
+            reference.entropy_bits(true).unwrap().to_bits(),
+            "snapshot entropy diverged at {shards} shards"
+        );
+    }
+    // And the un-sharded oracle agrees bit-for-bit.
+    let mut oracle = AttestedRegistry::new(TwoTierWeights::default());
+    oracle.apply_batch(&trace);
+    assert_eq!(
+        EpochSnapshot::from_registry(&oracle, 1).content_hash(),
+        reference.content_hash(),
+        "sharded fleets diverged from the single-threaded oracle"
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"fi-tests/fleet-snapshot/v1\",");
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"devices\": {},", cfg.devices);
+    let _ = writeln!(out, "  \"churn_ops\": {},", cfg.churn_ops);
+    let _ = writeln!(out, "  \"shard_counts\": [1, 2, 4, 8],");
+    let _ = writeln!(
+        out,
+        "  \"registered_devices\": {},",
+        reference.device_count()
+    );
+    let _ = writeln!(out, "  \"buckets\": {},", reference.buckets().len());
+    let _ = writeln!(
+        out,
+        "  \"total_effective_power\": {},",
+        reference.total_effective_power().as_units()
+    );
+    let _ = writeln!(
+        out,
+        "  \"entropy_bits\": {:.12},",
+        reference.entropy_bits(true).unwrap()
+    );
+    let _ = writeln!(out, "  \"content_hash\": \"{}\"", reference.content_hash());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[test]
+fn fleet_snapshot_matches_golden_across_shard_counts() {
+    let actual = render_fleet_golden();
+    if std::env::var_os("REGENERATE_GOLDENS").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/goldens/fleet_snapshot.json"
+        );
+        std::fs::write(path, &actual).expect("golden fixture written");
+        // The compiled-in include_str! still holds the pre-regeneration
+        // bytes; the next (recompiled) run asserts against the fresh ones.
+        return;
+    }
+    assert_eq!(
+        actual,
+        include_str!("goldens/fleet_snapshot.json"),
+        "the fixed-seed fleet snapshot drifted; regenerate the fixture \
+         with REGENERATE_GOLDENS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn fleet_golden_render_is_stable_across_calls() {
+    assert_eq!(render_fleet_golden(), render_fleet_golden());
+}

@@ -1,0 +1,151 @@
+//! Long-run float-drift guards for the O(1) entropy paths the serving
+//! layer leans on.
+//!
+//! The incremental engine carries floating-point state (`S = Σ w·log2 w`)
+//! across every operation; each op adds at most an ulp of rounding, and
+//! nothing re-normalises between seals. These tests drive
+//! [`EntropyAccumulator`] and [`RotationEntropyTracker`] through more than
+//! a million churn/rotation steps each and require agreement with a fresh
+//! batch `shannon` recompute within `1e-9` bits at every checkpoint — the
+//! bound the fleet's monitoring contract quotes.
+
+use fault_independence::fi_config::generator::AssignmentEntry;
+use fault_independence::fi_config::prelude::*;
+use fault_independence::fi_entropy::shannon::shannon_entropy_bits;
+use fault_independence::fi_entropy::{Distribution, EntropyAccumulator};
+use fault_independence::fi_types::{ReplicaId, SimTime, VotingPower};
+use fault_independence::{RotationEntropyTracker, RotationStep};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fresh batch recompute — the oracle both tests compare against.
+fn batch_entropy(weights: &[u64]) -> f64 {
+    match Distribution::from_counts(weights) {
+        Ok(d) => shannon_entropy_bits(&d),
+        Err(_) => 0.0,
+    }
+}
+
+#[test]
+fn accumulator_survives_a_million_churn_steps_within_1e_neg9() {
+    const SLOTS: usize = 64;
+    const STEPS: u64 = 1_200_000;
+    const CHECK_EVERY: u64 = 100_000;
+
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let mut acc = EntropyAccumulator::new(SLOTS);
+    let mut mirror = vec![0u64; SLOTS];
+    // Seed some mass so removes/moves have something to work with.
+    for (slot, bucket) in mirror.iter_mut().enumerate() {
+        let w = rng.gen_range(0u64..500);
+        acc.add(slot, w);
+        *bucket += w;
+    }
+
+    let mut worst: f64 = 0.0;
+    for step in 1..=STEPS {
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let slot = rng.gen_range(0..SLOTS);
+                let w = rng.gen_range(0u64..200);
+                acc.add(slot, w);
+                mirror[slot] += w;
+            }
+            1 => {
+                let slot = rng.gen_range(0..SLOTS);
+                let w = rng.gen_range(0u64..200).min(mirror[slot]);
+                acc.remove(slot, w);
+                mirror[slot] -= w;
+            }
+            _ => {
+                let from = rng.gen_range(0..SLOTS);
+                let to = rng.gen_range(0..SLOTS);
+                let w = rng.gen_range(0u64..200).min(mirror[from]);
+                acc.apply_move(from, to, w);
+                if from != to {
+                    mirror[from] -= w;
+                    mirror[to] += w;
+                }
+            }
+        }
+        if step % CHECK_EVERY == 0 {
+            let drift = (acc.entropy_bits() - batch_entropy(&mirror)).abs();
+            worst = worst.max(drift);
+            assert!(
+                drift < 1e-9,
+                "accumulator drifted {drift} bits from the batch recompute after {step} steps"
+            );
+            // Integer state never drifts at all.
+            assert_eq!(acc.total_weight(), mirror.iter().sum::<u64>());
+            assert_eq!(
+                acc.support_size(),
+                mirror.iter().filter(|&&w| w > 0).count()
+            );
+        }
+    }
+    // The churned accumulator also still matches a from-scratch rebuild.
+    let fresh = EntropyAccumulator::from_weights(&mirror);
+    assert!((acc.entropy_bits() - fresh.entropy_bits()).abs() < 1e-9);
+    assert!(worst < 1e-9, "worst observed drift: {worst}");
+}
+
+#[test]
+fn rotation_tracker_survives_a_million_steps_within_1e_neg9() {
+    const REPLICAS: u64 = 60;
+    const STEPS: u64 = 1_000_000;
+    const CHECK_EVERY: u64 = 100_000;
+
+    // 4 OSes × 3 crypto libraries = 12 configurations, uneven powers.
+    let space = ConfigurationSpace::cartesian(&[
+        catalog::operating_systems()[..4].to_vec(),
+        catalog::crypto_libraries()[..3].to_vec(),
+    ])
+    .expect("catalog space");
+    let k = space.len();
+    let entries: Vec<AssignmentEntry> = (0..REPLICAS)
+        .map(|i| AssignmentEntry {
+            replica: ReplicaId::new(i),
+            config: (i as usize) % k,
+            power: VotingPower::new(1 + (i * 13) % 50),
+        })
+        .collect();
+    let assignment = Assignment::new(space, entries.clone()).expect("valid assignment");
+
+    let mut tracker = RotationEntropyTracker::new(&assignment);
+    // Mirror: per-replica position and per-config weight.
+    let mut position: Vec<usize> = entries.iter().map(|e| e.config).collect();
+    let mut weights = vec![0u64; k];
+    for e in &entries {
+        weights[e.config] += e.power.as_units();
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x207A7E);
+    for step in 1..=STEPS {
+        let replica = rng.gen_range(0..REPLICAS);
+        // Mostly cyclic rotation (stride 1), sometimes a random migration.
+        let to_config = if rng.gen_bool(0.9) {
+            (position[replica as usize] + 1) % k
+        } else {
+            rng.gen_range(0..k)
+        };
+        let units = entries[replica as usize].power.as_units();
+        weights[position[replica as usize]] -= units;
+        weights[to_config] += units;
+        position[replica as usize] = to_config;
+        let tracked = tracker
+            .apply(&RotationStep {
+                at: SimTime::ZERO,
+                replica: ReplicaId::new(replica),
+                to_config,
+            })
+            .expect("valid step");
+        if step % CHECK_EVERY == 0 {
+            let drift = (tracked - batch_entropy(&weights)).abs();
+            assert!(
+                drift < 1e-9,
+                "tracker drifted {drift} bits from the batch recompute after {step} steps"
+            );
+        }
+    }
+    assert!((tracker.entropy_bits() - batch_entropy(&weights)).abs() < 1e-9);
+}
