@@ -23,7 +23,11 @@
 //!   the two-tier weighting of the paper's conclusion ("having two types of
 //!   replicas, one supporting configuration attestation and one does not,
 //!   will help to improve blockchain resilience"), and power-weighted
-//!   configuration distributions derived from attested data only.
+//!   configuration distributions derived from attested data only;
+//! * [`delta`] — the [`ChurnDelta`] the registry accumulates alongside its
+//!   incremental buckets: the net churn since the last epoch cut, drained
+//!   by `fi-fleet`'s differential sealer to patch epoch snapshots in
+//!   O(churn) instead of rebuilding them.
 //!
 //! The devices here are *simulated* (DESIGN.md §3): the paper uses
 //! attestation purely as an unforgeable configuration oracle, which the
@@ -60,6 +64,7 @@
 
 pub mod churn;
 pub mod commitment;
+pub mod delta;
 pub mod device;
 pub mod error;
 pub mod quote;
@@ -68,6 +73,7 @@ pub mod verifier;
 
 pub use churn::ChurnOp;
 pub use commitment::ConfigCommitment;
+pub use delta::{BucketDelta, ChurnDelta};
 pub use device::{AttestationKey, DeviceKind, TrustedDevice};
 pub use error::AttestError;
 pub use quote::Quote;
@@ -78,6 +84,7 @@ pub use verifier::{AttestationPolicy, Verifier};
 pub mod prelude {
     pub use crate::churn::ChurnOp;
     pub use crate::commitment::ConfigCommitment;
+    pub use crate::delta::{BucketDelta, ChurnDelta};
     pub use crate::device::{AttestationKey, DeviceKind, TrustedDevice};
     pub use crate::error::AttestError;
     pub use crate::quote::Quote;

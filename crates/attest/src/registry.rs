@@ -14,6 +14,7 @@ use fi_types::{Digest, PublicKey, ReplicaId, SimTime, VotingPower};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnOp;
+use crate::delta::ChurnDelta;
 use crate::error::AttestError;
 use crate::quote::Quote;
 use crate::verifier::Verifier;
@@ -143,6 +144,10 @@ pub struct AttestedRegistry {
     acc: EntropyAccumulator,
     /// Total effective power of the unattested tier (the opaque bucket).
     opaque: VotingPower,
+    /// Net churn since [`take_delta`](Self::take_delta) last drained it —
+    /// the O(churn) feed for differential epoch sealing. Every mutation
+    /// path maintains it alongside the incremental buckets.
+    delta: ChurnDelta,
 }
 
 /// One registered device as seen from the outside: the iteration view
@@ -183,6 +188,7 @@ impl AttestedRegistry {
             free_slots: Vec::new(),
             acc: EntropyAccumulator::new(0),
             opaque: VotingPower::ZERO,
+            delta: ChurnDelta::default(),
         }
     }
 
@@ -196,6 +202,8 @@ impl AttestedRegistry {
                     let slot = self.slot_of[&m];
                     self.acc.remove(slot, effective.as_units());
                     self.members_per_slot[slot] -= 1;
+                    self.delta
+                        .record_bucket(m, -i128::from(effective.as_units()), -1);
                     if self.members_per_slot[slot] == 0 {
                         // Last member gone (bucket weight is exactly zero
                         // again): recycle the slot so tables don't grow
@@ -205,7 +213,10 @@ impl AttestedRegistry {
                         self.free_slots.push(slot);
                     }
                 }
-                None => self.opaque -= effective,
+                None => {
+                    self.opaque -= effective;
+                    self.delta.record_opaque(-i128::from(effective.as_units()));
+                }
             }
         }
     }
@@ -237,6 +248,20 @@ impl AttestedRegistry {
         }
         self.members_per_slot[slot] += 1;
         self.acc.add(slot, effective.as_units());
+        self.delta
+            .record_bucket(measurement, i128::from(effective.as_units()), 1);
+    }
+
+    /// Records `replica`'s current roster state (its final state for this
+    /// epoch, last write wins) in the pending churn delta.
+    fn record_roster_state(&mut self, replica: ReplicaId) {
+        let state = self.entries.get(&replica).map(|e| RegisteredDevice {
+            replica,
+            tier: e.tier,
+            measurement: e.measurement,
+            power: e.power,
+        });
+        self.delta.record_roster(replica, state);
     }
 
     /// The tier weights in force.
@@ -274,6 +299,7 @@ impl AttestedRegistry {
                 power,
             },
         );
+        self.record_roster_state(replica);
         Ok(())
     }
 
@@ -301,6 +327,7 @@ impl AttestedRegistry {
                 power,
             },
         );
+        self.record_roster_state(replica);
     }
 
     /// Applies one churn operation.
@@ -335,13 +362,18 @@ impl AttestedRegistry {
     pub fn deregister(&mut self, replica: ReplicaId) -> bool {
         let present = self.entries.contains_key(&replica);
         self.unindex(replica);
+        if present {
+            self.record_roster_state(replica);
+        }
         present
     }
 
     /// Registers an unattested replica (power only; configuration opaque).
     pub fn register_unattested(&mut self, replica: ReplicaId, power: VotingPower) {
         self.unindex(replica);
-        self.opaque += power.scaled(self.weights.unattested());
+        let effective = power.scaled(self.weights.unattested());
+        self.opaque += effective;
+        self.delta.record_opaque(i128::from(effective.as_units()));
         self.entries.insert(
             replica,
             RegistryEntry {
@@ -351,6 +383,7 @@ impl AttestedRegistry {
                 power,
             },
         );
+        self.record_roster_state(replica);
     }
 
     /// Number of registered replicas.
@@ -526,6 +559,27 @@ impl AttestedRegistry {
         } else {
             self.acc.entropy_bits()
         })
+    }
+
+    /// Drains the net churn accumulated since the previous drain (or since
+    /// construction), leaving an empty delta behind. This is the epoch
+    /// cut's O(churn) read: a sealer drains every shard under its
+    /// consistent cut, merges the deltas ([`ChurnDelta::merge`]), and
+    /// patches the previous epoch snapshot instead of re-merging the whole
+    /// registry.
+    ///
+    /// Draining is part of the sealing contract even on full-rebuild
+    /// epochs: the delta is always relative to the registry state at the
+    /// *last* drain, so every cut must drain (and may then discard) it.
+    pub fn take_delta(&mut self) -> ChurnDelta {
+        std::mem::take(&mut self.delta)
+    }
+
+    /// The net churn accumulated since the last [`take_delta`](Self::take_delta),
+    /// without draining it.
+    #[must_use]
+    pub fn pending_delta(&self) -> &ChurnDelta {
+        &self.delta
     }
 }
 

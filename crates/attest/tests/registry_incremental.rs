@@ -10,7 +10,8 @@
 
 use fi_attest::device::{DeviceKind, TrustedDevice};
 use fi_attest::{
-    AttestationPolicy, AttestedRegistry, Quote, ReplicaTier, TwoTierWeights, Verifier,
+    AttestationPolicy, AttestedRegistry, ChurnDelta, ChurnOp, Quote, ReplicaTier, TwoTierWeights,
+    Verifier,
 };
 use fi_entropy::incremental::weighted_entropy_bits;
 use fi_types::{sha256, KeyPair, ReplicaId, SimTime, VotingPower};
@@ -199,4 +200,166 @@ fn tier_flips_move_power_between_buckets_and_opaque_pool() {
     assert_matches_rescan(&reg, "after unattested→attested flip");
     assert_eq!(reg.total_effective_power(), VotingPower::new(150));
     assert_eq!(reg.measurement_powers(false).len(), 1);
+}
+
+// --- ChurnDelta maintenance: the differential-sealing feed ------------
+
+#[test]
+fn take_delta_reflects_net_churn_and_drains() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+    assert!(
+        reg.pending_delta().is_empty(),
+        "fresh registry, empty delta"
+    );
+
+    reg.apply(&ChurnOp::attest(
+        ReplicaId::new(0),
+        sha256(b"cfg-a"),
+        VotingPower::new(40),
+    ));
+    reg.apply(&ChurnOp::Unattested {
+        replica: ReplicaId::new(1),
+        power: VotingPower::new(100),
+    });
+    reg.apply(&ChurnOp::attest(
+        ReplicaId::new(2),
+        sha256(b"cfg-a"),
+        VotingPower::new(10),
+    ));
+    reg.apply(&ChurnOp::Deregister {
+        replica: ReplicaId::new(2),
+    });
+
+    let delta = reg.take_delta();
+    // cfg-a: +40 (r0) +10 −10 (r2 came and went) = +40, one net member.
+    let buckets = delta.sorted_buckets();
+    assert_eq!(buckets.len(), 1);
+    assert_eq!(buckets[0].0, sha256(b"cfg-a"));
+    assert_eq!(buckets[0].1.power, 40);
+    assert_eq!(buckets[0].1.members, 1);
+    // Opaque: +100 at the 0.5 unattested weight.
+    assert_eq!(delta.opaque_delta(), 50);
+    // Roster: every *touched* device with its final state.
+    let roster = delta.sorted_roster();
+    assert_eq!(roster.len(), 3);
+    assert_eq!(roster[0].0, ReplicaId::new(0));
+    assert_eq!(roster[0].1.unwrap().measurement, Some(sha256(b"cfg-a")));
+    assert_eq!(roster[1].1.unwrap().tier, ReplicaTier::Unattested);
+    assert_eq!(roster[2], (ReplicaId::new(2), None));
+
+    // Draining resets; further churn starts a fresh delta.
+    assert!(reg.pending_delta().is_empty());
+    reg.apply(&ChurnOp::Deregister {
+        replica: ReplicaId::new(0),
+    });
+    let next = reg.take_delta();
+    let buckets = next.sorted_buckets();
+    assert_eq!(buckets.len(), 1);
+    assert_eq!(buckets[0].1.power, -40);
+    assert_eq!(buckets[0].1.members, -1);
+    assert_eq!(next.sorted_roster(), vec![(ReplicaId::new(0), None)]);
+}
+
+#[test]
+fn reregistration_within_an_epoch_collapses_to_final_state() {
+    let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+    reg.apply(&ChurnOp::attest(
+        ReplicaId::new(7),
+        sha256(b"cfg-a"),
+        VotingPower::new(25),
+    ));
+    reg.apply(&ChurnOp::attest(
+        ReplicaId::new(7),
+        sha256(b"cfg-b"),
+        VotingPower::new(60),
+    ));
+    let delta = reg.take_delta();
+    // cfg-a was born and died inside the epoch: pruned as a no-op.
+    let buckets = delta.sorted_buckets();
+    assert_eq!(buckets.len(), 1);
+    assert_eq!(buckets[0].0, sha256(b"cfg-b"));
+    assert_eq!(buckets[0].1.power, 60);
+    assert_eq!(buckets[0].1.members, 1);
+    // One roster entry, holding only the final state.
+    let roster = delta.sorted_roster();
+    assert_eq!(roster.len(), 1);
+    let device = roster[0].1.unwrap();
+    assert_eq!(device.measurement, Some(sha256(b"cfg-b")));
+    assert_eq!(device.power, VotingPower::new(60));
+}
+
+#[test]
+fn sharded_deltas_merge_to_the_unsharded_delta() {
+    // The sealer's merge contract: splitting a trace across shards by
+    // device id and merging the drained deltas nets out to exactly the
+    // delta a single registry accumulates over the whole trace.
+    let trace: Vec<ChurnOp> = (0..30u64)
+        .flat_map(|i| {
+            vec![
+                ChurnOp::attest(
+                    ReplicaId::new(i),
+                    sha256(format!("cfg-{}", i % 4).as_bytes()),
+                    VotingPower::new(10 + i),
+                ),
+                if i % 5 == 0 {
+                    ChurnOp::Deregister {
+                        replica: ReplicaId::new(i),
+                    }
+                } else {
+                    ChurnOp::attest(
+                        ReplicaId::new(i),
+                        sha256(format!("cfg-{}", i % 3).as_bytes()),
+                        VotingPower::new(20 + i),
+                    )
+                },
+            ]
+        })
+        .collect();
+
+    let mut whole = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+    whole.apply_batch(&trace);
+
+    let mut shards = [
+        AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5)),
+        AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5)),
+        AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5)),
+    ];
+    for op in &trace {
+        shards[(op.replica().as_u64() % 3) as usize].apply(op);
+    }
+    let mut merged = ChurnDelta::default();
+    for shard in &mut shards {
+        merged.merge(shard.take_delta());
+    }
+
+    let expected = whole.take_delta();
+    assert_eq!(merged.sorted_buckets(), expected.sorted_buckets());
+    assert_eq!(merged.sorted_roster(), expected.sorted_roster());
+    assert_eq!(merged.opaque_delta(), expected.opaque_delta());
+}
+
+#[test]
+fn quote_and_preverified_paths_record_identical_deltas() {
+    let (quote, verifier) = verified_quote(41, b"cfg-q");
+    let mut via_quote = AttestedRegistry::new(TwoTierWeights::default());
+    via_quote
+        .register_attested(
+            ReplicaId::new(3),
+            &quote,
+            &verifier,
+            SimTime::ZERO,
+            None,
+            VotingPower::new(70),
+        )
+        .expect("verifiable quote registers");
+    let mut via_op = AttestedRegistry::new(TwoTierWeights::default());
+    via_op.apply(&ChurnOp::from_verified_quote(
+        ReplicaId::new(3),
+        &quote,
+        VotingPower::new(70),
+    ));
+    let (a, b) = (via_quote.take_delta(), via_op.take_delta());
+    assert_eq!(a.sorted_buckets(), b.sorted_buckets());
+    assert_eq!(a.sorted_roster(), b.sorted_roster());
+    assert_eq!(a.opaque_delta(), b.opaque_delta());
 }

@@ -14,15 +14,21 @@
 //!   periodic epoch seals;
 //! * **serving** — lock-free selections/sec over the prebuilt snapshot
 //!   roster vs re-deriving the roster from the registry per query, plus
-//!   the O(1) monitor-query latency.
+//!   the O(1) monitor-query latency;
+//! * **seal** — per-epoch seal latency of the full from-scratch rebuild vs
+//!   the differential (delta-patch) path at several fleet sizes and churn
+//!   rates, asserting the two paths' content hashes stay byte-identical
+//!   at every epoch.
 //!
 //! Doubles as a correctness gate: exits non-zero if the sealed snapshot's
-//! content hash differs across shard counts or diverges from the
-//! single-threaded `AttestedRegistry` oracle.
+//! content hash differs across shard counts, diverges from the
+//! single-threaded `AttestedRegistry` oracle, or if a differential seal
+//! ever differs from its full-rebuild twin.
 //!
 //! ```text
-//! cargo run --release -p fi-bench --bin fleet            # full workload
-//! cargo run --release -p fi-bench --bin fleet -- --smoke # reduced n (CI)
+//! cargo run --release -p fi-bench --bin fleet              # full workload
+//! cargo run --release -p fi-bench --bin fleet -- --smoke   # reduced n (CI)
+//! cargo run --release -p fi-bench --bin fleet -- --shards 4 # single shard count
 //! ```
 
 use std::fmt::Write as _;
@@ -60,10 +66,21 @@ struct ServingStats {
     monitor_query_ns: f64,
 }
 
-/// The two correctness gates the binary exits non-zero on.
+struct SealRow {
+    shards: usize,
+    devices: u64,
+    churn_permille: u32,
+    full_rebuild_ms: f64,
+    differential_ms: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// The three correctness gates the binary exits non-zero on.
 struct Gates {
     hash_invariant: bool,
     oracle_bit_exact: bool,
+    seal_differential_bit_exact: bool,
 }
 
 /// Wall-clock parallel ingest of the whole trace.
@@ -159,6 +176,62 @@ fn rate_per_sec<F: FnMut()>(mut f: F) -> f64 {
     f64::from(iters) / start.elapsed().as_secs_f64()
 }
 
+/// Seal-latency differential: two identical fleets ingest the same
+/// registration wave and the same per-epoch churn; one re-anchors every
+/// epoch (every seal is a full rebuild — the pre-differential behaviour),
+/// the other never re-anchors (every seal after the first patches the
+/// previous snapshot with the drained deltas). Each epoch's two snapshots
+/// must hash identically — that equivalence is a CI gate, not just a
+/// benchmark.
+fn measure_seal(devices: u64, churn_permille: u32, shards: usize) -> SealRow {
+    const EPOCHS: usize = 6;
+    let per_epoch = ((devices as usize * churn_permille as usize) / 1000).max(1);
+    let cfg = ChurnTraceConfig {
+        devices,
+        measurements: 64,
+        churn_ops: per_epoch * EPOCHS,
+        unattested_permille: 100,
+        seed: 7_177,
+    };
+    let trace = churn_trace(&cfg);
+    let (wave, churn) = trace.split_at(devices as usize);
+
+    let full = ShardedFleet::with_reanchor_interval(shards, weights(), 1);
+    let differential = ShardedFleet::with_reanchor_interval(shards, weights(), 0);
+    for fleet in [&full, &differential] {
+        for batch in wave.chunks(INGEST_BATCH) {
+            fleet.ingest_batch(batch);
+        }
+        // Epoch 1 is the cold-start full build on both fleets.
+        let _ = fleet.seal_epoch();
+    }
+
+    let mut full_secs = 0.0;
+    let mut diff_secs = 0.0;
+    let mut bit_identical = true;
+    for epoch_ops in churn.chunks(per_epoch) {
+        full.ingest_batch(epoch_ops);
+        differential.ingest_batch(epoch_ops);
+        let t = Instant::now();
+        let snap_full = full.seal_epoch();
+        full_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let snap_diff = differential.seal_epoch();
+        diff_secs += t.elapsed().as_secs_f64();
+        bit_identical &= snap_full.content_hash() == snap_diff.content_hash();
+    }
+    let epochs = churn.chunks(per_epoch).count().max(1) as f64;
+    SealRow {
+        shards,
+        devices,
+        churn_permille,
+        full_rebuild_ms: full_secs * 1_000.0 / epochs,
+        differential_ms: diff_secs * 1_000.0 / epochs,
+        speedup: full_secs / diff_secs,
+        bit_identical,
+    }
+}
+
 fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize) -> ServingStats {
     let snapshot_selections_per_sec = rate_per_sec(|| {
         black_box(snapshot.select_greedy(k));
@@ -182,19 +255,31 @@ fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize
     }
 }
 
-fn render_fleet_json(
-    mode: &str,
-    cfg: &ChurnTraceConfig,
-    ingest: &[IngestRow],
-    mixed: &[MixedRow],
-    serving: &ServingStats,
-    snapshot: &EpochSnapshot,
-    gates: &Gates,
-) -> String {
+/// Everything the harness measured, bundled for rendering.
+struct Sections<'a> {
+    ingest: &'a [IngestRow],
+    mixed: &'a [MixedRow],
+    seal: &'a [SealRow],
+    serving: &'a ServingStats,
+    snapshot: &'a EpochSnapshot,
+    gates: &'a Gates,
+}
+
+fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>) -> String {
+    let Sections {
+        ingest,
+        mixed,
+        seal,
+        serving,
+        snapshot,
+        gates,
+    } = *sections;
+    // The 8-vs-1 scaling summary only exists when the sweep ran both ends
+    // (a `--shards N` run restricts the sweep to one count).
     let scaling = |f: fn(&IngestRow) -> f64| {
-        let one = ingest.iter().find(|r| r.shards == 1).expect("shards=1 row");
-        let eight = ingest.iter().find(|r| r.shards == 8).expect("shards=8 row");
-        f(eight) / f(one)
+        let one = ingest.iter().find(|r| r.shards == 1)?;
+        let eight = ingest.iter().find(|r| r.shards == 8)?;
+        Some(f(eight) / f(one))
     };
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -217,16 +302,16 @@ fn render_fleet_json(
         );
     }
     let _ = writeln!(out, "    ],");
-    let _ = writeln!(
-        out,
-        "    \"ingest_scaling_8v1_measured\": {:.2},",
-        scaling(|r| r.measured_ops_per_sec)
-    );
-    let _ = writeln!(
-        out,
-        "    \"ingest_scaling_8v1_critical_path\": {:.2},",
-        scaling(|r| r.critical_path_ops_per_sec)
-    );
+    if let (Some(measured), Some(critical)) = (
+        scaling(|r| r.measured_ops_per_sec),
+        scaling(|r| r.critical_path_ops_per_sec),
+    ) {
+        let _ = writeln!(out, "    \"ingest_scaling_8v1_measured\": {measured:.2},");
+        let _ = writeln!(
+            out,
+            "    \"ingest_scaling_8v1_critical_path\": {critical:.2},"
+        );
+    }
     let _ = writeln!(out, "    \"mixed_90_10\": [");
     for (i, r) in mixed.iter().enumerate() {
         let comma = if i + 1 < mixed.len() { "," } else { "" };
@@ -237,6 +322,29 @@ fn render_fleet_json(
         );
     }
     let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"seal\": [");
+    for (i, r) in seal.iter().enumerate() {
+        let comma = if i + 1 < seal.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"shards\": {}, \"devices\": {}, \"churn_permille\": {}, \
+             \"full_rebuild_ms\": {:.3}, \"differential_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"bit_identical\": {}}}{comma}",
+            r.shards,
+            r.devices,
+            r.churn_permille,
+            r.full_rebuild_ms,
+            r.differential_ms,
+            r.speedup,
+            r.bit_identical
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(
+        out,
+        "    \"seal_differential_bit_exact\": {},",
+        gates.seal_differential_bit_exact
+    );
     let _ = writeln!(out, "    \"serving\": {{");
     let _ = writeln!(
         out,
@@ -313,6 +421,36 @@ fn splice_fleet_section(existing: &str, fleet_json: &str) -> String {
     )
 }
 
+/// Parses `--shards N` / `--shards=N` from the argument list, if present.
+/// A malformed or missing value is a hard error — silently falling back to
+/// the full shard sweep would run a different gate configuration than the
+/// caller asked for.
+fn shards_override() -> Option<usize> {
+    fn parse_or_die(v: &str) -> usize {
+        match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("invalid --shards value: {v:?} (expected a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--shards=") {
+            return Some(parse_or_die(v));
+        }
+        if a == "--shards" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--shards needs a value");
+                std::process::exit(2);
+            });
+            return Some(parse_or_die(v));
+        }
+    }
+    None
+}
+
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
@@ -322,19 +460,32 @@ fn main() -> ExitCode {
         ChurnTraceConfig::new(100_000, 150_000)
     };
     let k = 64;
+    // `--shards N` restricts every sweep to one shard count (CI runs the
+    // smoke workload at 1 and 4); the default sweeps {1, 2, 4, 8} for
+    // ingest/mixed and {1, 4} for the seal-latency section.
+    let restricted = shards_override();
+    let shard_counts: Vec<usize> = match restricted {
+        Some(n) => vec![n],
+        None => SHARD_COUNTS.to_vec(),
+    };
+    let seal_shard_counts: Vec<usize> = match restricted {
+        Some(n) => vec![n],
+        None => vec![1, 4],
+    };
 
     println!(
-        "fi-bench fleet ({mode} mode: {} devices, {} trace ops, seed {})",
+        "fi-bench fleet ({mode} mode: {} devices, {} trace ops, seed {}, shards {:?})",
         cfg.devices,
         cfg.total_ops(),
-        cfg.seed
+        cfg.seed,
+        shard_counts
     );
     let trace = churn_trace(&cfg);
 
     println!("== ingest throughput (shard sweep) ==");
     let mut ingest = Vec::new();
     let mut hashes = Vec::new();
-    for shards in SHARD_COUNTS {
+    for &shards in &shard_counts {
         let (measured, hash) = measure_parallel_ingest(&trace, shards);
         let critical = measure_critical_path(&trace, shards);
         println!(
@@ -350,7 +501,7 @@ fn main() -> ExitCode {
     let hash_invariant = hashes.windows(2).all(|w| w[0] == w[1]);
 
     println!("== mixed 90/10 read/write serving loop ==");
-    let mixed: Vec<MixedRow> = SHARD_COUNTS
+    let mixed: Vec<MixedRow> = shard_counts
         .iter()
         .map(|&shards| {
             let ops_per_sec = measure_mixed(&trace, shards);
@@ -362,6 +513,27 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    println!("== seal latency: full rebuild vs differential ==");
+    let seal_devices: &[u64] = if smoke { &[10_000] } else { &[10_000, 100_000] };
+    let mut seal = Vec::new();
+    for &shards in &seal_shard_counts {
+        for &devices in seal_devices {
+            for permille in [1u32, 10, 100] {
+                let row = measure_seal(devices, permille, shards);
+                println!(
+                    "  shards={shards} devices={devices} churn={}%: full {:.3} ms | differential {:.3} ms ({:.1}x){}",
+                    permille as f64 / 10.0,
+                    row.full_rebuild_ms,
+                    row.differential_ms,
+                    row.speedup,
+                    if row.bit_identical { "" } else { "  HASH MISMATCH" }
+                );
+                seal.push(row);
+            }
+        }
+    }
+    let seal_differential_bit_exact = seal.iter().all(|r| r.bit_identical);
+
     // The single-threaded oracle: the whole trace through one registry.
     let mut oracle = AttestedRegistry::new(weights());
     oracle.apply_batch(&trace);
@@ -369,7 +541,7 @@ fn main() -> ExitCode {
     let oracle_bit_exact = hashes.iter().all(|&h| h == oracle_snapshot.content_hash());
 
     println!("== serving reads over the sealed snapshot ==");
-    let final_fleet = ShardedFleet::new(8, weights());
+    let final_fleet = ShardedFleet::new(*shard_counts.last().expect("non-empty sweep"), weights());
     final_fleet.ingest_batch(&trace);
     let snapshot = final_fleet.seal_epoch();
     let serving = measure_serving(&snapshot, &oracle, k);
@@ -384,8 +556,20 @@ fn main() -> ExitCode {
     let gates = Gates {
         hash_invariant,
         oracle_bit_exact,
+        seal_differential_bit_exact,
     };
-    let fleet_json = render_fleet_json(mode, &cfg, &ingest, &mixed, &serving, &snapshot, &gates);
+    let fleet_json = render_fleet_json(
+        mode,
+        &cfg,
+        &Sections {
+            ingest: &ingest,
+            mixed: &mixed,
+            seal: &seal,
+            serving: &serving,
+            snapshot: &snapshot,
+            gates: &gates,
+        },
+    );
     let path = repo_root().join("BENCH_perf.json");
     let existing = std::fs::read_to_string(&path).unwrap_or_else(|_| {
         format!("{{\n  \"schema\": \"fi-bench/perf/v1\",\n  \"mode\": \"{mode}\"\n}}\n")
@@ -408,6 +592,10 @@ fn main() -> ExitCode {
     }
     if snapshot.content_hash() != oracle_snapshot.content_hash() {
         eprintln!("FAIL: serving snapshot diverged from the oracle");
+        return ExitCode::FAILURE;
+    }
+    if !seal_differential_bit_exact {
+        eprintln!("FAIL: a differential seal diverged from its full-rebuild twin");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

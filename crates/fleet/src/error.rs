@@ -1,0 +1,41 @@
+//! Error types for `fi-fleet`.
+
+use core::fmt;
+
+/// Why a fleet could not be configured.
+///
+/// Library callers that take shard counts from external configuration use
+/// [`ShardedFleet::try_new`](crate::ShardedFleet::try_new) and get this
+/// error instead of an abort path; [`ShardedFleet::new`](crate::ShardedFleet::new)
+/// instead clamps a zero shard count to one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// A fleet needs at least one registry shard.
+    ZeroShards,
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::ZeroShards => {
+                write!(f, "a sharded fleet needs at least one registry shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error_with_message() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<FleetConfigError>();
+        assert!(FleetConfigError::ZeroShards
+            .to_string()
+            .contains("at least one"));
+    }
+}

@@ -10,25 +10,63 @@
 //! differential suite pins down: **any** shard count in any thread schedule
 //! seals to a bit-identical [`EpochSnapshot`].
 //!
-//! [`seal_epoch`](ShardedFleet::seal_epoch) is the write→read barrier: it
-//! waits for in-flight batches to land (a batch gate makes whole batches
-//! atomic with respect to the cut, even when their sub-batches touch
-//! different shards), locks all shards for one consistent cut, merges
-//! their buckets and device rosters into a canonical snapshot, and
-//! publishes it. Sealers serialise through a dedicated mutex, so epoch
-//! numbers are monotone and snapshots are published in epoch order even
-//! under concurrent seal calls. Reader threads grab the current
+//! [`seal_epoch`](ShardedFleet::seal_epoch) is the write→read barrier, and
+//! it is **differential**: each shard accumulates a
+//! [`ChurnDelta`](fi_attest::ChurnDelta) of the net churn since the last
+//! cut, so sealing an epoch that saw little churn drains and merges O(churn)
+//! deltas and patches the previous snapshot
+//! ([`EpochSnapshot::apply_delta`]) instead of re-merging every shard.
+//! A full rebuild ([`EpochSnapshot::build`] over a complete shard merge)
+//! remains the cold-start path (epoch 1) and the periodic re-anchor — every
+//! `R` seals ([`ShardedFleet::with_reanchor_interval`]) — which re-zeroes
+//! the entropy accumulator's floating-point drift. Both paths produce the
+//! byte-identical canonical form (buckets, rosters, content hash).
+//!
+//! The cut itself is brief: the sealer waits for in-flight batches (a batch
+//! gate makes whole batches atomic with respect to the cut, even when their
+//! sub-batches touch different shards), locks all shards, drains the deltas
+//! (or copies the full rows on re-anchor epochs), and assigns the epoch
+//! number — all under a dedicated seal mutex. The expensive snapshot
+//! construction happens *outside* every lock, so a slow rebuild stalls
+//! neither ingest nor later sealers' cuts; publication then re-serialises
+//! through an epoch-ordered handoff, so `current` never moves backwards
+//! even under concurrent sealers. Reader threads grab the current
 //! `Arc<EpochSnapshot>` once per query burst and then run committee
 //! selection and monitoring entirely lock-free on the immutable snapshot
 //! while ingest continues on the shards.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
-use fi_types::{ReplicaId, VotingPower};
+use fi_attest::{AttestedRegistry, ChurnDelta, ChurnOp, RegisteredDevice, TwoTierWeights};
+use fi_types::{Digest, ReplicaId, VotingPower};
 
+use crate::error::FleetConfigError;
 use crate::snapshot::EpochSnapshot;
+
+/// The default re-anchor cadence: one full (from-scratch) snapshot rebuild
+/// every this many seals, bounding the differential path's accumulated
+/// floating-point entropy drift. See
+/// [`ShardedFleet::with_reanchor_interval`].
+pub const DEFAULT_REANCHOR_INTERVAL: u64 = 32;
+
+/// One shard's complete state as copied at a re-anchor cut: its bucket
+/// rows, opaque power, and device roster.
+type ShardRows = (
+    Vec<(Digest, VotingPower)>,
+    VotingPower,
+    Vec<RegisteredDevice>,
+);
+
+/// What the epoch cut captured for one seal, decided under the seal lock
+/// and built into a snapshot outside it.
+enum SealWork {
+    /// Re-anchor epochs: a complete copy of every shard's rows.
+    Full { per_shard: Vec<ShardRows> },
+    /// Ordinary epochs: the shards' merged churn deltas since the last cut.
+    Differential(ChurnDelta),
+}
 
 /// A sharded, epoch-based fleet of attested devices.
 ///
@@ -58,37 +96,131 @@ use crate::snapshot::EpochSnapshot;
 pub struct ShardedFleet {
     shards: Vec<Mutex<AttestedRegistry>>,
     weights: TwoTierWeights,
+    /// Full-rebuild cadence: epoch 1 and every `reanchor_interval`-th epoch
+    /// rebuild from scratch; `0` means "re-anchor never" (cold start only).
+    reanchor_interval: u64,
     epoch: AtomicU64,
     current: RwLock<Arc<EpochSnapshot>>,
-    /// Held shared by every ingest call for its whole batch and
-    /// exclusively by the sealer's cut, so a batch whose sub-batches land
-    /// on different shards is atomic with respect to the epoch cut.
+    /// Held shared by every ingest call for its whole batch and exclusively
+    /// by the sealer's cut and by [`device_count`](Self::device_count), so
+    /// a batch whose sub-batches land on different shards is atomic with
+    /// respect to both the epoch cut and the count sweep.
     batch_gate: RwLock<()>,
-    /// Serialises sealers: epoch assignment and snapshot publication
-    /// happen under this lock, so concurrent seals cannot publish out of
-    /// epoch order.
+    /// Serialises epoch cuts: delta draining / row copying and epoch
+    /// assignment happen as one unit per seal, so deltas chain onto the
+    /// right predecessor. Deliberately *not* held through snapshot
+    /// construction.
     seal_lock: Mutex<()>,
+    /// The highest epoch whose snapshot has been published, plus the chain
+    /// poison flag. Sealers build outside the seal lock and then wait here
+    /// for their predecessor, so snapshots are published in strict epoch
+    /// order.
+    publish_state: Mutex<PublishState>,
+    publish_cv: Condvar,
+}
+
+/// Epoch-ordered publication state.
+#[derive(Debug)]
+struct PublishState {
+    /// The highest epoch whose snapshot readers can see.
+    published: u64,
+    /// Set when a sealer unwound between its cut and its publication: the
+    /// epoch it was assigned is a hole no later sealer can publish past,
+    /// so waiters fail fast instead of blocking forever.
+    poisoned: bool,
+}
+
+/// Poisons the publish chain if a sealer unwinds between its cut (epoch
+/// assigned) and its publication; disarmed on the success path.
+struct PublishChainGuard<'a> {
+    fleet: &'a ShardedFleet,
+    armed: bool,
+}
+
+impl PublishChainGuard<'_> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PublishChainGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Never panic here: this runs during an unwind. If the state
+            // mutex itself is poisoned, waiters already fail on their own
+            // lock expects.
+            if let Ok(mut state) = self.fleet.publish_state.lock() {
+                state.poisoned = true;
+            }
+            self.fleet.publish_cv.notify_all();
+        }
+    }
 }
 
 impl ShardedFleet {
     /// Creates a fleet with `shard_count` registry shards under the given
-    /// tier weights, serving an empty epoch-zero snapshot.
+    /// tier weights, serving an empty epoch-zero snapshot, with the default
+    /// re-anchor cadence ([`DEFAULT_REANCHOR_INTERVAL`]).
     ///
-    /// # Panics
-    ///
-    /// Panics if `shard_count` is zero.
+    /// A `shard_count` of zero is clamped to one: the fleet is guaranteed
+    /// to be constructed with at least one shard and never panics on the
+    /// shard count. Callers that want configuration errors surfaced instead
+    /// use [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(shard_count: usize, weights: TwoTierWeights) -> Self {
-        assert!(shard_count > 0, "a fleet needs at least one shard");
+        Self::with_reanchor_interval(shard_count, weights, DEFAULT_REANCHOR_INTERVAL)
+    }
+
+    /// [`new`](Self::new), but a zero `shard_count` is reported as a
+    /// [`FleetConfigError`] instead of being clamped — the library-caller
+    /// path for externally supplied configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetConfigError::ZeroShards`] when `shard_count == 0`.
+    pub fn try_new(shard_count: usize, weights: TwoTierWeights) -> Result<Self, FleetConfigError> {
+        if shard_count == 0 {
+            return Err(FleetConfigError::ZeroShards);
+        }
+        Ok(Self::new(shard_count, weights))
+    }
+
+    /// Creates a fleet with an explicit re-anchor cadence: epoch 1 and
+    /// every `reanchor_interval`-th epoch thereafter seal with a full
+    /// from-scratch rebuild; all other epochs seal differentially by
+    /// patching the previous snapshot with the drained churn deltas.
+    ///
+    /// `reanchor_interval == 1` makes every seal a full rebuild (the
+    /// pre-differential behaviour); `0` disables re-anchoring entirely
+    /// (only the cold-start epoch rebuilds). Both extremes produce
+    /// byte-identical canonical snapshots — the cadence only bounds how
+    /// much floating-point drift the incrementally spliced entropy
+    /// accumulator may carry (within the engine's `1e-9` envelope either
+    /// way; see `tests/long_run_drift.rs`).
+    ///
+    /// A `shard_count` of zero is clamped to one, as in [`new`](Self::new).
+    #[must_use]
+    pub fn with_reanchor_interval(
+        shard_count: usize,
+        weights: TwoTierWeights,
+        reanchor_interval: u64,
+    ) -> Self {
+        let shard_count = shard_count.max(1);
         ShardedFleet {
             shards: (0..shard_count)
                 .map(|_| Mutex::new(AttestedRegistry::new(weights)))
                 .collect(),
             weights,
+            reanchor_interval,
             epoch: AtomicU64::new(0),
             current: RwLock::new(Arc::new(EpochSnapshot::empty(weights))),
             batch_gate: RwLock::new(()),
             seal_lock: Mutex::new(()),
+            publish_state: Mutex::new(PublishState {
+                published: 0,
+                poisoned: false,
+            }),
+            publish_cv: Condvar::new(),
         }
     }
 
@@ -104,8 +236,22 @@ impl ShardedFleet {
         self.weights
     }
 
-    /// Which shard owns `replica` — a pure function of the device id, so a
-    /// device's ops always serialise through one shard.
+    /// The full-rebuild cadence (`0` = cold-start rebuild only). See
+    /// [`with_reanchor_interval`](Self::with_reanchor_interval).
+    #[must_use]
+    pub fn reanchor_interval(&self) -> u64 {
+        self.reanchor_interval
+    }
+
+    /// Which shard owns `replica`: `replica mod shard_count`.
+    ///
+    /// **Stability contract:** the mapping is a pure function of the device
+    /// id and this fleet's (fixed) shard count — it never changes over the
+    /// fleet's lifetime, so a device's ops always serialise through the
+    /// same shard. It is *not* stable across fleets with different shard
+    /// counts; that is fine because sealed snapshots are canonical (pure
+    /// functions of fleet content), so re-sharding a fleet by replaying its
+    /// churn into a differently-sized one yields bit-identical epochs.
     #[must_use]
     pub fn shard_of(&self, replica: ReplicaId) -> usize {
         (replica.as_u64() % self.shards.len() as u64) as usize
@@ -165,9 +311,19 @@ impl ShardedFleet {
         }
     }
 
-    /// Number of registered devices across all shards.
+    /// Number of registered devices across all shards, batch-atomic: the
+    /// sweep takes the batch gate exclusively, so an in-flight multi-shard
+    /// batch is counted either fully or not at all. (Taking the gate in
+    /// shared mode would not fix the tear — ingest also holds it shared,
+    /// and two shared holders run concurrently; only the exclusive side
+    /// excludes in-flight batches.) The shards themselves are then locked
+    /// one at a time, which is consistent because no batch can be mid-way.
     #[must_use]
     pub fn device_count(&self) -> usize {
+        let _gate = self
+            .batch_gate
+            .write()
+            .expect("no ingest call panicked holding the batch gate");
         self.shards
             .iter()
             .map(|s| {
@@ -180,67 +336,190 @@ impl ShardedFleet {
 
     /// The write→read barrier: waits for in-flight batches, takes one
     /// consistent cut across all shards (locking them in index order),
-    /// merges measurement buckets, opaque power, and device rosters, and
-    /// publishes the canonical [`EpochSnapshot`] for lock-free serving.
+    /// and publishes the canonical [`EpochSnapshot`] for lock-free serving.
     /// Returns the sealed snapshot.
     ///
-    /// Concurrent sealers serialise: epoch numbers are assigned in cut
-    /// order and snapshots are published in epoch order, so `current`
-    /// never moves backwards.
+    /// Ordinary epochs are **differential**: the cut drains each shard's
+    /// [`ChurnDelta`], merges them, and patches the previous snapshot in
+    /// O(churn · log n) ([`EpochSnapshot::apply_delta`]) — bit-identical
+    /// buckets, rosters, and content hash to a full rebuild. Epoch 1 and
+    /// every [`reanchor_interval`](Self::reanchor_interval)-th epoch
+    /// rebuild from a complete shard merge instead, re-zeroing the entropy
+    /// accumulator's floating-point drift.
+    ///
+    /// Only the cut (drain/copy + epoch assignment) holds the seal lock;
+    /// snapshot construction runs outside it, so a slow rebuild stalls
+    /// neither ingest nor later sealers' cuts. Publication is handed off in
+    /// strict epoch order: `current` never moves backwards under concurrent
+    /// sealers (asserted), and each differential sealer patches exactly its
+    /// predecessor's published snapshot.
     pub fn seal_epoch(&self) -> Arc<EpochSnapshot> {
-        // Serialise sealers end to end — cut, epoch assignment, and
-        // publication happen as one ordered unit per seal.
-        let _seal = self
-            .seal_lock
-            .lock()
-            .expect("no sealer panicked holding the seal lock");
-        // Exclude in-flight batches so a batch whose sub-batches land on
-        // different shards is observed either fully or not at all, then
-        // sweep the shard locks for the cut. Ingest holds the gate shared
-        // and then locks one shard per worker; the sealer takes the gate
-        // exclusively *before* any shard lock, so the orderings cannot
-        // deadlock.
-        let guards: Vec<_> = {
-            let _gate = self
-                .batch_gate
-                .write()
-                .expect("no ingest call panicked holding the batch gate");
-            self.shards
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .expect("no ingest worker panicked holding a shard lock")
-                })
-                .collect()
+        // Phase 1 — the cut, under the seal lock: exclude in-flight
+        // batches (so a batch whose sub-batches land on different shards
+        // is observed either fully or not at all), sweep the shard locks,
+        // drain the deltas or copy the full rows, and assign the epoch.
+        // Ingest holds the gate shared and then locks one shard per
+        // worker; the sealer takes the gate exclusively *before* any shard
+        // lock, so the orderings cannot deadlock.
+        let (epoch, work) = {
+            let _seal = self
+                .seal_lock
+                .lock()
+                .expect("no sealer panicked holding the seal lock");
+            let mut guards: Vec<_> = {
+                let _gate = self
+                    .batch_gate
+                    .write()
+                    .expect("no ingest call panicked holding the batch gate");
+                self.shards
+                    .iter()
+                    .map(|s| {
+                        s.lock()
+                            .expect("no ingest worker panicked holding a shard lock")
+                    })
+                    .collect()
+            };
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            let full = epoch == 1
+                || (self.reanchor_interval > 0 && epoch.is_multiple_of(self.reanchor_interval));
+            let work = if full {
+                let per_shard = guards
+                    .iter_mut()
+                    .map(|shard| {
+                        // Re-baseline: the full copy captures everything,
+                        // so the pending delta is drained and discarded —
+                        // the *next* differential seal's delta must be
+                        // relative to this cut.
+                        let _ = shard.take_delta();
+                        (
+                            shard.bucket_rows().collect(),
+                            shard.unattested_power(),
+                            shard.devices().collect(),
+                        )
+                    })
+                    .collect();
+                SealWork::Full { per_shard }
+            } else {
+                let mut merged = ChurnDelta::default();
+                for shard in &mut guards {
+                    merged.merge(shard.take_delta());
+                }
+                SealWork::Differential(merged)
+            };
+            (epoch, work)
         };
-        let mut rows = std::collections::BTreeMap::new();
-        let mut opaque = VotingPower::ZERO;
-        let mut devices = Vec::new();
-        for shard in &guards {
-            for (m, p) in shard.bucket_rows() {
-                *rows.entry(m).or_insert(VotingPower::ZERO) += p;
-            }
-            opaque += shard.unattested_power();
-            devices.extend(shard.devices());
-        }
-        drop(guards);
 
-        // Still under the seal lock: the expensive canonical build blocks
-        // other sealers (preserving epoch order) but neither readers nor
-        // ingest.
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let snapshot = Arc::new(EpochSnapshot::build(
-            epoch,
-            self.weights,
-            rows,
-            opaque,
-            devices,
-        ));
-        *self
-            .current
-            .write()
-            .expect("no reader panicked holding the snapshot lock") = Arc::clone(&snapshot);
+        // From here on this sealer *owes* the chain epoch's publication: if
+        // construction panics (an overflow expect, a chaining assert), the
+        // guard poisons the chain so later sealers fail fast instead of
+        // waiting forever on the hole.
+        let chain = PublishChainGuard {
+            fleet: self,
+            armed: true,
+        };
+
+        // Phase 2 — construction, outside every lock. Ingest proceeds on
+        // the shards and later sealers take their cuts concurrently.
+        let snapshot = match work {
+            SealWork::Full { per_shard } => {
+                let mut rows = BTreeMap::new();
+                let mut opaque = VotingPower::ZERO;
+                let mut devices = Vec::new();
+                for (shard_rows, shard_opaque, shard_devices) in per_shard {
+                    for (m, p) in shard_rows {
+                        *rows.entry(m).or_insert(VotingPower::ZERO) += p;
+                    }
+                    opaque += shard_opaque;
+                    devices.extend(shard_devices);
+                }
+                Arc::new(EpochSnapshot::build(
+                    epoch,
+                    self.weights,
+                    rows,
+                    opaque,
+                    devices,
+                ))
+            }
+            SealWork::Differential(delta) => {
+                // The delta was cut on top of epoch-1's content; wait for
+                // that snapshot to exist, then patch it.
+                let prev = self.wait_for_published(epoch - 1);
+                Arc::new(prev.apply_delta(epoch, &delta))
+            }
+        };
+
+        // Phase 3 — publication, re-serialised into epoch order.
+        self.publish(epoch, &snapshot);
+        chain.disarm();
         snapshot
+    }
+
+    /// Blocks until the snapshot for `epoch` has been published, then
+    /// returns it. Only called by the sealer of `epoch + 1`, so the
+    /// published counter cannot advance past `epoch` while we read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the publish chain was poisoned by a sealer that unwound
+    /// mid-seal — `epoch` can then never be published.
+    fn wait_for_published(&self, epoch: u64) -> Arc<EpochSnapshot> {
+        let mut state = self
+            .publish_state
+            .lock()
+            .expect("no sealer panicked holding the publish state");
+        while state.published < epoch {
+            assert!(
+                !state.poisoned,
+                "a sealer panicked mid-seal; the epoch publish chain is poisoned"
+            );
+            state = self
+                .publish_cv
+                .wait(state)
+                .expect("no sealer panicked holding the publish state");
+        }
+        drop(state);
+        let snap = self.snapshot();
+        debug_assert_eq!(snap.epoch(), epoch, "publish chain skipped an epoch");
+        snap
+    }
+
+    /// Publishes `snapshot` as epoch `epoch`, waiting for its predecessor
+    /// first so `current` only ever advances.
+    ///
+    /// # Panics
+    ///
+    /// As [`wait_for_published`](Self::wait_for_published) on a poisoned
+    /// chain.
+    fn publish(&self, epoch: u64, snapshot: &Arc<EpochSnapshot>) {
+        let mut state = self
+            .publish_state
+            .lock()
+            .expect("no sealer panicked holding the publish state");
+        while state.published + 1 != epoch {
+            assert!(
+                !state.poisoned,
+                "a sealer panicked mid-seal; the epoch publish chain is poisoned"
+            );
+            state = self
+                .publish_cv
+                .wait(state)
+                .expect("no sealer panicked holding the publish state");
+        }
+        {
+            let mut current = self
+                .current
+                .write()
+                .expect("no reader panicked holding the snapshot lock");
+            assert!(
+                current.epoch() < epoch,
+                "snapshot publication moved backwards: {} then {}",
+                current.epoch(),
+                epoch
+            );
+            *current = Arc::clone(snapshot);
+        }
+        state.published = epoch;
+        self.publish_cv.notify_all();
     }
 
     /// The currently served snapshot. Readers clone the `Arc` under a brief
@@ -281,6 +560,7 @@ mod tests {
         assert_eq!(snap.device_count(), 0);
         assert_eq!(fleet.device_count(), 0);
         assert_eq!(fleet.shard_count(), 4);
+        assert_eq!(fleet.reanchor_interval(), DEFAULT_REANCHOR_INTERVAL);
     }
 
     #[test]
@@ -328,6 +608,8 @@ mod tests {
         fleet.ingest_batch(&[ChurnOp::Deregister {
             replica: ReplicaId::new(0),
         }]);
+        // Epoch 2 takes the differential path (default cadence re-anchors
+        // at 32) and must still observe the departure.
         let second = fleet.seal_epoch();
         assert_eq!(second.epoch(), 2);
         assert_eq!(second.device_count(), 7);
@@ -337,20 +619,62 @@ mod tests {
     }
 
     #[test]
+    fn differential_and_full_seals_chain_to_identical_hashes() {
+        // One fleet re-anchors every epoch (every seal is a full rebuild),
+        // one never re-anchors (every seal after the first is a delta
+        // patch), one re-anchors every 3rd epoch (both paths interleave).
+        // All three must agree byte-for-byte at every epoch.
+        let trace = ops(60);
+        let full = ShardedFleet::with_reanchor_interval(4, TwoTierWeights::flat(), 1);
+        let differential = ShardedFleet::with_reanchor_interval(4, TwoTierWeights::flat(), 0);
+        let mixed = ShardedFleet::with_reanchor_interval(4, TwoTierWeights::flat(), 3);
+        for batch in trace.chunks(7) {
+            for fleet in [&full, &differential, &mixed] {
+                fleet.ingest_batch(batch);
+            }
+            let (a, b, c) = (
+                full.seal_epoch(),
+                differential.seal_epoch(),
+                mixed.seal_epoch(),
+            );
+            assert_eq!(a.content_hash(), b.content_hash());
+            assert_eq!(a.content_hash(), c.content_hash());
+            assert_eq!(a.buckets(), b.buckets());
+            assert_eq!(a.devices(), b.devices());
+            let (ha, hb) = (a.entropy_bits(true), b.entropy_bits(true));
+            match (ha, hb) {
+                (Ok(x), Ok(y)) => assert!((x - y).abs() < 1e-9, "{x} vs {y}"),
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn seal_publishes_in_epoch_order() {
+        let fleet = ShardedFleet::new(2, TwoTierWeights::flat());
+        fleet.ingest_batch(&ops(8));
+        let first = fleet.seal_epoch();
+        assert_eq!(first.epoch(), 1);
+        assert_eq!(fleet.snapshot().epoch(), 1);
+    }
+
+    #[test]
     fn shard_of_is_stable_and_total() {
         let fleet = ShardedFleet::new(8, TwoTierWeights::flat());
         for i in 0..100u64 {
             let shard = fleet.shard_of(ReplicaId::new(i));
             assert!(shard < 8);
             assert_eq!(shard, fleet.shard_of(ReplicaId::new(i)));
+            assert_eq!(shard, (i % 8) as usize, "documented modulo mapping");
         }
     }
 
     #[test]
     fn concurrent_ingest_while_sealing_is_safe() {
         // Smoke the lock discipline: batches land while another thread
-        // seals repeatedly. Every device's ops live in one batch, so the
-        // final sealed state is independent of the interleaving.
+        // seals repeatedly (mostly differential seals under the default
+        // cadence). Every device's ops live in one batch, so the final
+        // sealed state is independent of the interleaving.
         let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
         let trace = ops(200);
         std::thread::scope(|scope| {
@@ -412,8 +736,98 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
-        let _ = ShardedFleet::new(0, TwoTierWeights::flat());
+    fn served_epoch_is_monotone_under_concurrent_sealers() {
+        // The `current` pointer must never move backwards: a reader
+        // polling the served snapshot sees a non-decreasing epoch sequence
+        // while several sealers race (differential sealers included).
+        let fleet = ShardedFleet::with_reanchor_interval(4, TwoTierWeights::flat(), 3);
+        let trace = ops(160);
+        std::thread::scope(|scope| {
+            let fleet = &fleet;
+            scope.spawn(move || {
+                for batch in trace.chunks(8) {
+                    fleet.ingest_batch(batch);
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..6 {
+                        let _ = fleet.seal_epoch();
+                    }
+                });
+            }
+            scope.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..4_000 {
+                    let epoch = fleet.snapshot().epoch();
+                    assert!(
+                        epoch >= last,
+                        "served epoch went backwards: {last} → {epoch}"
+                    );
+                    last = epoch;
+                }
+            });
+        });
+        assert_eq!(fleet.snapshot().epoch(), 18);
+    }
+
+    #[test]
+    fn device_count_is_batch_atomic_under_concurrent_ingest() {
+        // Regression for the torn count: `device_count` used to sweep the
+        // shard locks without the batch gate, so it could observe half of
+        // a multi-shard batch. Every batch here registers 40 *fresh*
+        // devices, so any consistent count is a multiple of 40.
+        const BATCH: u64 = 40;
+        const BATCHES: u64 = 25;
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        std::thread::scope(|scope| {
+            let fleet = &fleet;
+            scope.spawn(move || {
+                for b in 0..BATCHES {
+                    let batch: Vec<ChurnOp> = (0..BATCH)
+                        .map(|i| {
+                            ChurnOp::attest(
+                                ReplicaId::new(b * BATCH + i),
+                                sha256(format!("cfg-{}", i % 3).as_bytes()),
+                                VotingPower::new(10),
+                            )
+                        })
+                        .collect();
+                    fleet.ingest_batch(&batch);
+                }
+            });
+            scope.spawn(move || {
+                let mut last = 0;
+                while last < (BATCH * BATCHES) as usize {
+                    let count = fleet.device_count();
+                    assert_eq!(
+                        count % BATCH as usize,
+                        0,
+                        "torn device count {count} observed mid-batch"
+                    );
+                    assert!(count >= last, "device count went backwards");
+                    last = count;
+                }
+            });
+        });
+        assert_eq!(fleet.device_count(), (BATCH * BATCHES) as usize);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one_and_try_new_reports() {
+        let fleet = ShardedFleet::new(0, TwoTierWeights::flat());
+        assert_eq!(fleet.shard_count(), 1);
+        fleet.ingest_batch(&ops(4));
+        assert_eq!(fleet.seal_epoch().device_count(), 4);
+        assert_eq!(
+            ShardedFleet::try_new(0, TwoTierWeights::flat()).err(),
+            Some(crate::error::FleetConfigError::ZeroShards)
+        );
+        assert_eq!(
+            ShardedFleet::try_new(2, TwoTierWeights::flat())
+                .unwrap()
+                .shard_count(),
+            2
+        );
     }
 }

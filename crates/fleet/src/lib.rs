@@ -19,9 +19,16 @@
 //!   device's op order is preserved, and that is the only order the end
 //!   state depends on.
 //! * [`ShardedFleet::seal_epoch`] takes a consistent cut across all
-//!   shards and merges them into a canonical [`EpochSnapshot`]: sorted
-//!   measurement buckets, total effective power, a rebuilt accumulator, a
+//!   shards and publishes a canonical [`EpochSnapshot`]: sorted
+//!   measurement buckets, total effective power, an entropy accumulator, a
 //!   prebuilt committee-candidate roster, and a stable content hash.
+//!   Sealing is **differential**: each shard accumulates a
+//!   [`fi_attest::ChurnDelta`] since the last cut, and ordinary epochs
+//!   patch the previous snapshot in O(churn · log n)
+//!   ([`EpochSnapshot::apply_delta`]) — byte-identical to the full rebuild
+//!   that epoch 1 and every R-th epoch
+//!   ([`ShardedFleet::with_reanchor_interval`]) still perform to re-zero
+//!   floating-point entropy drift.
 //! * Readers clone the current `Arc<EpochSnapshot>` and run
 //!   [`select_greedy`](EpochSnapshot::select_greedy),
 //!   [`select_two_tier`](EpochSnapshot::select_two_tier), and monitoring
@@ -58,22 +65,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod fleet;
 pub mod snapshot;
 pub mod trace;
 
-pub use fleet::ShardedFleet;
+pub use error::FleetConfigError;
+pub use fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
 pub use snapshot::EpochSnapshot;
 pub use trace::{churn_trace, measurement_pool, ChurnTraceConfig};
 
 // The ingest vocabulary is fi-attest's; re-export it so fleet users need
 // one import.
-pub use fi_attest::ChurnOp;
+pub use fi_attest::{ChurnDelta, ChurnOp};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::fleet::ShardedFleet;
+    pub use crate::error::FleetConfigError;
+    pub use crate::fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
     pub use crate::snapshot::EpochSnapshot;
     pub use crate::trace::{churn_trace, measurement_pool, ChurnTraceConfig};
-    pub use fi_attest::ChurnOp;
+    pub use fi_attest::{ChurnDelta, ChurnOp};
 }

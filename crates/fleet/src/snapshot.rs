@@ -10,21 +10,33 @@
 //! accumulate floating-point state (`Σ w·log2 w`) along whatever operation
 //! history they saw, so two shardings of the same churn trace hold
 //! bit-different accumulators even though their *integer* bucket contents
-//! agree exactly. The snapshot therefore rebuilds its
-//! [`EntropyAccumulator`] from the merged integer buckets in sorted
-//! measurement order — a pure function of fleet *content* — which makes
-//! every derived quantity (entropy, total power, candidate roster,
-//! [`content_hash`](EpochSnapshot::content_hash)) bit-identical across
-//! shard and thread counts, and bit-identical to sealing a single
-//! un-sharded [`AttestedRegistry`] via
+//! agree exactly. The snapshot therefore derives everything from the merged
+//! integer buckets in sorted measurement order — a pure function of fleet
+//! *content* — which makes every derived quantity (entropy, total power,
+//! candidate roster, [`content_hash`](EpochSnapshot::content_hash))
+//! bit-identical across shard and thread counts, and bit-identical to
+//! sealing a single un-sharded [`AttestedRegistry`] via
 //! [`EpochSnapshot::from_registry`].
+//!
+//! There are two ways to construct that canonical form. The **full build**
+//! ([`EpochSnapshot::build`]) merges complete shard rows and rebuilds the
+//! [`EntropyAccumulator`] with `from_weights` — the cold-start and
+//! re-anchor path. The **differential patch**
+//! ([`EpochSnapshot::apply_delta`]) applies one epoch's merged
+//! [`ChurnDelta`] to the previous snapshot in O(changed · log n): integer
+//! bucket/roster/opaque content (and therefore the content hash, whose
+//! per-row digests aggregate through an invertible
+//! [`SetDigest`](fi_types::hash::SetDigest) sum) comes out byte-identical
+//! to the full build; only the spliced accumulator's float state may
+//! differ, within the engine's `1e-9` envelope, until the next re-anchor
+//! re-zeroes it.
 
 use std::collections::BTreeMap;
 
-use fi_attest::{AttestedRegistry, RegisteredDevice, TwoTierWeights};
+use fi_attest::{AttestedRegistry, ChurnDelta, RegisteredDevice, TwoTierWeights};
 use fi_committee::{greedy_diverse, two_tier_weighted, Candidate, Committee};
 use fi_entropy::{Distribution, DistributionError, EntropyAccumulator};
-use fi_types::hash::Sha256;
+use fi_types::hash::{SetDigest, Sha256};
 use fi_types::{Digest, VotingPower};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -63,6 +75,11 @@ pub struct EpochSnapshot {
     /// sorted by measurement digest (zero-power buckets with registered
     /// members included).
     buckets: Vec<(Digest, VotingPower)>,
+    /// Registered-member count per bucket (parallel to `buckets`, every
+    /// count ≥ 1 — a bucket whose last member left is dropped). This is
+    /// what lets [`apply_delta`](Self::apply_delta) decide bucket
+    /// birth/death from integer member deltas alone.
+    bucket_members: Vec<u32>,
     /// Total effective power of the unattested tier.
     opaque: VotingPower,
     /// Every registered device, sorted by replica id.
@@ -73,7 +90,37 @@ pub struct EpochSnapshot {
     candidates: Vec<Candidate>,
     /// Canonical accumulator over `buckets`, in bucket order.
     acc: EntropyAccumulator,
+    /// Order-independent aggregate of per-bucket row digests — the
+    /// incrementally maintainable half of the content hash.
+    bucket_agg: SetDigest,
+    /// Order-independent aggregate of per-device row digests.
+    device_agg: SetDigest,
     content_hash: Digest,
+}
+
+/// The canonical digest of one measurement-bucket row.
+fn bucket_row_digest(measurement: &Digest, power: VotingPower) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"B");
+    h.update(measurement.as_bytes());
+    h.update(power.as_units().to_be_bytes());
+    h.finalize()
+}
+
+/// The canonical digest of one device-roster row.
+fn device_row_digest(d: &RegisteredDevice) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"D");
+    h.update(d.replica.as_u64().to_be_bytes());
+    h.update(d.power.as_units().to_be_bytes());
+    match d.measurement {
+        Some(m) => {
+            h.update([1]);
+            h.update(m.as_bytes());
+        }
+        None => h.update([0]),
+    }
+    h.finalize()
 }
 
 impl EpochSnapshot {
@@ -98,63 +145,76 @@ impl EpochSnapshot {
         );
 
         let opaque_slot = buckets.len();
-        let candidates = devices
-            .iter()
-            .map(|d| {
-                let (config, attested) = match d.measurement {
-                    Some(m) => (
-                        buckets
-                            .binary_search_by_key(&m, |&(digest, _)| digest)
-                            .expect("every attested device's measurement has a bucket"),
-                        true,
-                    ),
-                    None => (opaque_slot, false),
-                };
-                Candidate::new(d.replica, d.power, config, attested)
-            })
-            .collect();
+        let mut bucket_members = vec![0u32; buckets.len()];
+        let mut candidates = Vec::with_capacity(devices.len());
+        for d in &devices {
+            let (config, attested) = match d.measurement {
+                Some(m) => {
+                    let slot = buckets
+                        .binary_search_by_key(&m, |&(digest, _)| digest)
+                        .expect("every attested device's measurement has a bucket");
+                    bucket_members[slot] += 1;
+                    (slot, true)
+                }
+                None => (opaque_slot, false),
+            };
+            candidates.push(Candidate::new(d.replica, d.power, config, attested));
+        }
+        debug_assert!(
+            bucket_members.iter().all(|&c| c > 0),
+            "every live bucket has at least one registered member"
+        );
 
-        let content_hash = Self::hash_content(&buckets, opaque, &devices);
+        let mut bucket_agg = SetDigest::EMPTY;
+        for &(m, p) in &buckets {
+            bucket_agg.insert(&bucket_row_digest(&m, p));
+        }
+        let mut device_agg = SetDigest::EMPTY;
+        for d in &devices {
+            device_agg.insert(&device_row_digest(d));
+        }
+        let content_hash =
+            Self::finalize_content(buckets.len(), bucket_agg, opaque, devices.len(), device_agg);
         EpochSnapshot {
             epoch,
             weights,
             buckets,
+            bucket_members,
             opaque,
             devices,
             candidates,
             acc,
+            bucket_agg,
+            device_agg,
             content_hash,
         }
     }
 
-    /// Digest over the canonical content: sorted buckets, opaque power, and
-    /// the sorted device roster. Deliberately excludes the epoch counter —
-    /// two epochs with identical fleet content hash identically.
-    fn hash_content(
-        buckets: &[(Digest, VotingPower)],
+    /// Digest over the canonical content: the measurement-bucket rows, the
+    /// opaque power, and the device-roster rows. Deliberately excludes the
+    /// epoch counter — two epochs with identical fleet content hash
+    /// identically.
+    ///
+    /// Each row set enters through an order-independent, invertible
+    /// [`SetDigest`] aggregate of per-row SHA-256 digests (row counts are
+    /// bound separately), so the differential sealer maintains the hash in
+    /// O(changed rows) — subtract departed rows, add arrived ones — while a
+    /// from-scratch build over the same rows produces the byte-identical
+    /// digest.
+    fn finalize_content(
+        bucket_count: usize,
+        bucket_agg: SetDigest,
         opaque: VotingPower,
-        devices: &[RegisteredDevice],
+        device_count: usize,
+        device_agg: SetDigest,
     ) -> Digest {
         let mut h = Sha256::new();
-        h.update(b"fi-fleet/epoch-snapshot-v1");
-        h.update((buckets.len() as u64).to_be_bytes());
-        for (m, p) in buckets {
-            h.update(m.as_bytes());
-            h.update(p.as_units().to_be_bytes());
-        }
+        h.update(b"fi-fleet/epoch-snapshot-v2");
+        h.update((bucket_count as u64).to_be_bytes());
+        h.update(bucket_agg.to_bytes());
         h.update(opaque.as_units().to_be_bytes());
-        h.update((devices.len() as u64).to_be_bytes());
-        for d in devices {
-            h.update(d.replica.as_u64().to_be_bytes());
-            h.update(d.power.as_units().to_be_bytes());
-            match d.measurement {
-                Some(m) => {
-                    h.update([1]);
-                    h.update(m.as_bytes());
-                }
-                None => h.update([0]),
-            }
-        }
+        h.update((device_count as u64).to_be_bytes());
+        h.update(device_agg.to_bytes());
         h.finalize()
     }
 
@@ -180,6 +240,210 @@ impl EpochSnapshot {
     #[must_use]
     pub fn empty(weights: TwoTierWeights) -> EpochSnapshot {
         EpochSnapshot::build(0, weights, BTreeMap::new(), VotingPower::ZERO, Vec::new())
+    }
+
+    /// Patches this snapshot with one epoch's merged [`ChurnDelta`],
+    /// producing the `epoch` snapshot in O(changed · log n) structural work
+    /// — dirty buckets and touched devices are located by binary search /
+    /// sorted merge walk — plus the unavoidable O(n) canonical re-hash and
+    /// vector copies, instead of the O(fleet) shard re-merge a full
+    /// [`build`](Self::build) pays.
+    ///
+    /// **Bit-identity invariant.** Bucket powers, member counts, the
+    /// roster, and the opaque power are integer sums, so the patched
+    /// canonical form — and therefore [`content_hash`](Self::content_hash)
+    /// — is *byte-identical* to a from-scratch build over the same fleet
+    /// content; `fleet_differential.rs` enforces this at every intermediate
+    /// epoch. Only the [`EntropyAccumulator`]'s `Σ w·log2 w` term is
+    /// floating-point: it is spliced incrementally (equal to the canonical
+    /// rebuild within the engine's `1e-9` drift envelope) and re-zeroed
+    /// whenever the sealer re-anchors with a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta was not produced on top of exactly this
+    /// snapshot's fleet content (a chaining error): a bucket delta that
+    /// underflows its bucket, a member count going negative, an opaque
+    /// delta driving the opaque power negative, or a new bucket arriving
+    /// without members.
+    #[must_use]
+    pub fn apply_delta(&self, epoch: u64, delta: &ChurnDelta) -> EpochSnapshot {
+        let dirty = delta.sorted_buckets();
+        let roster = delta.sorted_roster();
+
+        // 1. Patch the sorted bucket vec (merge walk old × dirty), while
+        //    collecting the accumulator splice plan and the old→new slot
+        //    remap that lets unchanged candidates skip the binary search.
+        let old_buckets = &self.buckets;
+        let mut buckets = Vec::with_capacity(old_buckets.len() + dirty.len());
+        let mut bucket_members = Vec::with_capacity(old_buckets.len() + dirty.len());
+        // Old slot → new slot for surviving buckets plus the opaque
+        // pseudo-slot (last entry); removed buckets keep `usize::MAX`.
+        let mut slot_map = vec![usize::MAX; old_buckets.len() + 1];
+        let mut weight_edits: Vec<(usize, i128)> = Vec::new();
+        let mut removals: Vec<usize> = Vec::new();
+        let mut insertions: Vec<(usize, u64)> = Vec::new();
+        let mut bucket_agg = self.bucket_agg;
+        let mut device_agg = self.device_agg;
+
+        let (mut i, mut j) = (0, 0);
+        while i < old_buckets.len() || j < dirty.len() {
+            let take_old =
+                j >= dirty.len() || (i < old_buckets.len() && old_buckets[i].0 < dirty[j].0);
+            if take_old {
+                slot_map[i] = buckets.len();
+                buckets.push(old_buckets[i]);
+                bucket_members.push(self.bucket_members[i]);
+                i += 1;
+            } else if i < old_buckets.len() && old_buckets[i].0 == dirty[j].0 {
+                let (m, d) = dirty[j];
+                let members = i64::from(self.bucket_members[i]) + d.members;
+                let power = i128::from(old_buckets[i].1.as_units()) + d.power;
+                assert!(
+                    members >= 0 && power >= 0,
+                    "churn delta underflows bucket {m}: delta not chained on this snapshot"
+                );
+                if members == 0 {
+                    assert_eq!(
+                        power, 0,
+                        "memberless bucket {m} retains power: delta not chained on this snapshot"
+                    );
+                    bucket_agg.remove(&bucket_row_digest(&m, old_buckets[i].1));
+                    removals.push(i);
+                } else {
+                    let power = VotingPower::new(
+                        u64::try_from(power).expect("bucket power overflowed u64"),
+                    );
+                    slot_map[i] = buckets.len();
+                    if d.power != 0 {
+                        weight_edits.push((i, d.power));
+                        bucket_agg.remove(&bucket_row_digest(&m, old_buckets[i].1));
+                        bucket_agg.insert(&bucket_row_digest(&m, power));
+                    }
+                    buckets.push((m, power));
+                    bucket_members
+                        .push(u32::try_from(members).expect("bucket members overflowed u32"));
+                }
+                i += 1;
+                j += 1;
+            } else {
+                // A bucket born this epoch.
+                let (m, d) = dirty[j];
+                assert!(
+                    d.members > 0 && d.power >= 0,
+                    "new bucket {m} arrives with non-positive members or negative power: \
+                     delta not chained on this snapshot"
+                );
+                let power =
+                    VotingPower::new(u64::try_from(d.power).expect("bucket power overflowed u64"));
+                bucket_agg.insert(&bucket_row_digest(&m, power));
+                insertions.push((buckets.len(), power.as_units()));
+                buckets.push((m, power));
+                bucket_members
+                    .push(u32::try_from(d.members).expect("bucket members overflowed u32"));
+                j += 1;
+            }
+        }
+        slot_map[old_buckets.len()] = buckets.len();
+
+        // 2. Splice the accumulator: in-place weight edits first (slot
+        //    indices still mean the old layout), then structural removals
+        //    in descending old position, then insertions in ascending
+        //    final position.
+        let mut acc = self.acc.clone();
+        for &(slot, d) in &weight_edits {
+            if d > 0 {
+                acc.add(slot, u64::try_from(d).expect("power delta overflowed u64"));
+            } else {
+                acc.remove(slot, u64::try_from(-d).expect("power delta overflowed u64"));
+            }
+        }
+        for &slot in removals.iter().rev() {
+            let _ = acc.remove_slot(slot);
+        }
+        for &(slot, w) in &insertions {
+            acc.insert_slot(slot, w);
+        }
+        debug_assert_eq!(acc.slots(), buckets.len());
+        debug_assert_eq!(
+            acc.total_weight(),
+            buckets.iter().map(|&(_, p)| p.as_units()).sum::<u64>(),
+            "spliced accumulator total diverged from patched buckets"
+        );
+
+        // 3. Patch roster and candidates (merge walk old × touched):
+        //    unchanged candidates only remap their config through
+        //    `slot_map`; touched devices binary-search the patched buckets.
+        let opaque_slot = buckets.len();
+        let patched_candidate = |d: &RegisteredDevice| match d.measurement {
+            Some(m) => Candidate::new(
+                d.replica,
+                d.power,
+                buckets
+                    .binary_search_by_key(&m, |&(digest, _)| digest)
+                    .expect("every touched device's measurement has a patched bucket"),
+                true,
+            ),
+            None => Candidate::new(d.replica, d.power, opaque_slot, false),
+        };
+        let mut devices = Vec::with_capacity(self.devices.len() + roster.len());
+        let mut candidates = Vec::with_capacity(self.devices.len() + roster.len());
+        let (mut di, mut rj) = (0, 0);
+        while di < self.devices.len() || rj < roster.len() {
+            let take_old = rj >= roster.len()
+                || (di < self.devices.len() && self.devices[di].replica < roster[rj].0);
+            if take_old {
+                let old = &self.candidates[di];
+                let config = slot_map[old.config()];
+                assert_ne!(
+                    config,
+                    usize::MAX,
+                    "untouched device points at a removed bucket: delta not chained on this snapshot"
+                );
+                devices.push(self.devices[di]);
+                candidates.push(Candidate::new(
+                    old.replica(),
+                    old.power(),
+                    config,
+                    old.attested(),
+                ));
+                di += 1;
+            } else {
+                let (replica, state) = roster[rj];
+                if let Some(d) = state {
+                    devices.push(d);
+                    candidates.push(patched_candidate(&d));
+                    device_agg.insert(&device_row_digest(&d));
+                }
+                // A `None` state for an absent device is a tolerated no-op
+                // (a deregister of a never-registered replica).
+                if di < self.devices.len() && self.devices[di].replica == replica {
+                    device_agg.remove(&device_row_digest(&self.devices[di]));
+                    di += 1;
+                }
+                rj += 1;
+            }
+        }
+
+        // 4. Opaque power (integer-exact) and the content hash finalised
+        //    over the patched row aggregates — byte-identical to a full
+        //    rebuild's, in O(changed rows) instead of O(fleet).
+        let opaque = delta.patched_opaque(self.opaque);
+        let content_hash =
+            Self::finalize_content(buckets.len(), bucket_agg, opaque, devices.len(), device_agg);
+        EpochSnapshot {
+            epoch,
+            weights: self.weights,
+            buckets,
+            bucket_members,
+            opaque,
+            devices,
+            candidates,
+            acc,
+            bucket_agg,
+            device_agg,
+            content_hash,
+        }
     }
 
     /// The epoch counter this snapshot was sealed at.
@@ -348,6 +612,89 @@ mod tests {
         assert!(snap.select_greedy(4).is_empty());
         let empty_reg = AttestedRegistry::new(TwoTierWeights::flat());
         assert_eq!(snap.entropy_bits(false), empty_reg.entropy_bits(false));
+    }
+
+    #[test]
+    fn empty_snapshot_error_semantics_match_fresh_registry_exactly() {
+        // Satellite pin: the zero-device snapshot must be indistinguishable
+        // from a fresh `AttestedRegistry` in every entropy/distribution
+        // error path, including the +0.0 degenerate-entropy sign.
+        let registry = AttestedRegistry::new(TwoTierWeights::default());
+        let snap = EpochSnapshot::empty(TwoTierWeights::default());
+        for include in [false, true] {
+            assert_eq!(snap.entropy_bits(include), registry.entropy_bits(include));
+            assert_eq!(snap.entropy_bits(include), Err(DistributionError::Empty));
+            assert_eq!(
+                snap.distribution(include)
+                    .map(|d| d.probabilities().to_vec()),
+                registry
+                    .distribution(include)
+                    .map(|d| d.probabilities().to_vec())
+            );
+        }
+        let h = snap.entropy_accumulator().entropy_bits();
+        assert_eq!(h, 0.0);
+        assert!(h.is_sign_positive(), "degenerate entropy must be +0.0");
+        assert_eq!(
+            snap.total_effective_power(),
+            registry.total_effective_power()
+        );
+        assert_eq!(snap.device_count(), registry.len());
+
+        // A snapshot churned *down* to zero devices through the
+        // differential path degenerates identically to `empty()`.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::default());
+        reg.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            VotingPower::new(10),
+        ));
+        reg.apply(&ChurnOp::Unattested {
+            replica: ReplicaId::new(1),
+            power: VotingPower::new(10),
+        });
+        let mut chained =
+            EpochSnapshot::empty(TwoTierWeights::default()).apply_delta(1, &reg.take_delta());
+        assert_eq!(chained.device_count(), 2);
+        reg.apply(&ChurnOp::Deregister {
+            replica: ReplicaId::new(0),
+        });
+        reg.apply(&ChurnOp::Deregister {
+            replica: ReplicaId::new(1),
+        });
+        chained = chained.apply_delta(2, &reg.take_delta());
+        assert_eq!(chained.device_count(), 0);
+        assert_eq!(chained.content_hash(), snap.content_hash());
+        for include in [false, true] {
+            assert_eq!(chained.entropy_bits(include), Err(DistributionError::Empty));
+            assert_eq!(
+                chained.entropy_bits(include),
+                registry.entropy_bits(include)
+            );
+        }
+        let h = chained.entropy_accumulator().entropy_bits();
+        assert_eq!(h, 0.0);
+        assert!(h.is_sign_positive(), "churned-empty entropy must be +0.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "not chained")]
+    fn apply_delta_rejects_unchained_deltas() {
+        // A delta produced on top of a populated registry cannot patch the
+        // empty snapshot: the departure of a never-seen bucket member is a
+        // chaining error, not a silent corruption.
+        let mut reg = AttestedRegistry::new(TwoTierWeights::flat());
+        reg.apply(&ChurnOp::attest(
+            ReplicaId::new(0),
+            sha256(b"cfg-a"),
+            VotingPower::new(10),
+        ));
+        let _ = reg.take_delta();
+        reg.apply(&ChurnOp::Deregister {
+            replica: ReplicaId::new(0),
+        });
+        let unchained = reg.take_delta();
+        let _ = EpochSnapshot::empty(TwoTierWeights::flat()).apply_delta(1, &unchained);
     }
 
     #[test]

@@ -88,6 +88,85 @@ impl From<[u8; 32]> for Digest {
     }
 }
 
+/// An order-independent, incrementally updatable aggregate over a *set* of
+/// digests: the Bellare–Micciancio "AdHash" construction, summing digests
+/// as 256-bit integers modulo 2²⁵⁶.
+///
+/// [`insert`](Self::insert) and [`remove`](Self::remove) are exact
+/// inverses, so a consumer can maintain the aggregate of a churning row set
+/// in O(changed rows) instead of re-hashing everything — the primitive
+/// behind `fi-fleet`'s differential epoch sealing. Collision resistance of
+/// the additive construction reduces to a modular subset-sum problem; in
+/// this workspace it serves as a determinism invariant over canonical row
+/// sets (each row appears at most once), not as an adversarial commitment.
+///
+/// # Example
+///
+/// ```
+/// use fi_types::hash::{sha256, SetDigest};
+/// let (a, b, c) = (sha256(b"row-a"), sha256(b"row-b"), sha256(b"row-c"));
+/// let mut agg = SetDigest::EMPTY;
+/// agg.insert(&a);
+/// agg.insert(&b);
+/// agg.insert(&c);
+/// agg.remove(&b);
+/// let mut expected = SetDigest::EMPTY;
+/// expected.insert(&c);
+/// expected.insert(&a); // order never matters
+/// assert_eq!(agg, expected);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SetDigest {
+    /// Little-endian 64-bit limbs of the running sum modulo 2²⁵⁶.
+    limbs: [u64; 4],
+}
+
+impl SetDigest {
+    /// The aggregate of the empty set.
+    pub const EMPTY: SetDigest = SetDigest { limbs: [0; 4] };
+
+    /// Folds `digest` into the aggregate (mod-2²⁵⁶ addition).
+    pub fn insert(&mut self, digest: &Digest) {
+        let mut carry = 0u64;
+        for (limb, add) in self.limbs.iter_mut().zip(Self::limbs_of(digest)) {
+            let (sum, c1) = limb.overflowing_add(add);
+            let (sum, c2) = sum.overflowing_add(carry);
+            *limb = sum;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+    }
+
+    /// Removes `digest` from the aggregate (mod-2²⁵⁶ subtraction) — the
+    /// exact inverse of [`insert`](Self::insert).
+    pub fn remove(&mut self, digest: &Digest) {
+        let mut borrow = 0u64;
+        for (limb, sub) in self.limbs.iter_mut().zip(Self::limbs_of(digest)) {
+            let (diff, b1) = limb.overflowing_sub(sub);
+            let (diff, b2) = diff.overflowing_sub(borrow);
+            *limb = diff;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+    }
+
+    /// The aggregate as canonical bytes (little-endian limb order), for
+    /// folding into an enclosing hash.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    fn limbs_of(digest: &Digest) -> [u64; 4] {
+        let b = digest.as_bytes();
+        core::array::from_fn(|i| {
+            u64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().expect("8-byte limb"))
+        })
+    }
+}
+
 const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
@@ -284,6 +363,59 @@ pub fn hash_fields(fields: &[&[u8]]) -> Digest {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_digest_is_order_independent_and_invertible() {
+        let rows: Vec<Digest> = (0..6).map(|i| sha256(format!("r{i}").as_bytes())).collect();
+        let mut forward = SetDigest::EMPTY;
+        for r in &rows {
+            forward.insert(r);
+        }
+        let mut backward = SetDigest::EMPTY;
+        for r in rows.iter().rev() {
+            backward.insert(r);
+        }
+        assert_eq!(forward, backward);
+        // Removing everything returns to the empty aggregate.
+        for r in &rows {
+            forward.remove(r);
+        }
+        assert_eq!(forward, SetDigest::EMPTY);
+        // Insert/remove round-trips through arbitrary interleavings.
+        backward.remove(&rows[3]);
+        backward.insert(&rows[3]);
+        let mut expected = SetDigest::EMPTY;
+        for r in &rows {
+            expected.insert(r);
+        }
+        assert_eq!(backward, expected);
+    }
+
+    #[test]
+    fn set_digest_carry_propagates_across_limbs() {
+        // An all-ones digest added twice forces carries through every limb;
+        // the subtraction must undo it exactly.
+        let ones = Digest([0xFF; 32]);
+        let mut agg = SetDigest::EMPTY;
+        agg.insert(&ones);
+        agg.insert(&ones);
+        assert_ne!(agg, SetDigest::EMPTY);
+        agg.remove(&ones);
+        let mut single = SetDigest::EMPTY;
+        single.insert(&ones);
+        assert_eq!(agg, single);
+        agg.remove(&ones);
+        assert_eq!(agg, SetDigest::EMPTY);
+    }
+
+    #[test]
+    fn set_digest_bytes_are_stable() {
+        let mut agg = SetDigest::EMPTY;
+        assert_eq!(agg.to_bytes(), [0u8; 32]);
+        let d = sha256(b"row");
+        agg.insert(&d);
+        assert_eq!(agg.to_bytes(), *d.as_bytes());
+    }
 
     // FIPS 180-4 / NIST CAVP test vectors.
     #[test]

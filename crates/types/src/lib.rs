@@ -41,7 +41,7 @@ pub mod time;
 
 pub use crypto::{KeyPair, PublicKey, Signature};
 pub use error::{ParseHexError, PowerArithmeticError};
-pub use hash::{sha256, Digest};
+pub use hash::{sha256, Digest, SetDigest};
 pub use ids::{ClientId, PoolId, ReplicaId, VulnId};
 pub use power::VotingPower;
 pub use time::SimTime;

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use fault_independence::fi_attest::{AttestedRegistry, TwoTierWeights};
 use fault_independence::fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
+use fault_independence::{DiversityReport, Recommender};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -113,4 +114,63 @@ fn fleet_snapshot_matches_golden_across_shard_counts() {
 #[test]
 fn fleet_golden_render_is_stable_across_calls() {
     assert_eq!(render_fleet_golden(), render_fleet_golden());
+}
+
+/// The golden trace sealed epoch-by-epoch through the *differential* path
+/// (seal every batch; the default cadence re-anchors only every 32nd
+/// epoch) must land on the same final content hash the single-seal full
+/// rebuild pins — and the facade's serving read paths
+/// (`DiversityReport::from_snapshot`, `Recommender::plan_for_snapshot`)
+/// must not be able to tell the two snapshots apart.
+#[test]
+fn differential_epoch_chain_lands_on_the_golden_content() {
+    let cfg = golden_trace_config();
+    let trace = churn_trace(&cfg);
+
+    let fleet = ShardedFleet::new(4, TwoTierWeights::default());
+    let mut last = fleet.snapshot();
+    for batch in trace.chunks(640) {
+        fleet.ingest_batch(batch);
+        last = fleet.seal_epoch();
+    }
+    assert!(
+        last.epoch() > 32,
+        "the chain must cross a re-anchor epoch to cover both paths"
+    );
+
+    let mut oracle = AttestedRegistry::new(TwoTierWeights::default());
+    oracle.apply_batch(&trace);
+    let rebuilt = EpochSnapshot::from_registry(&oracle, last.epoch());
+    assert_eq!(
+        last.content_hash(),
+        rebuilt.content_hash(),
+        "differential epoch chain diverged from the canonical rebuild"
+    );
+
+    // Serving read paths over the chained snapshot: batch metrics are
+    // bit-identical (same canonical rows), the O(1) entropy field agrees
+    // within the drift envelope, and re-attestation planning is identical.
+    for include in [false, true] {
+        let via_chain = DiversityReport::from_snapshot(&last, include).unwrap();
+        let via_rebuild = DiversityReport::from_snapshot(&rebuilt, include).unwrap();
+        assert!((via_chain.entropy_bits - via_rebuild.entropy_bits).abs() < 1e-9);
+        let mut normalized = via_chain.clone();
+        normalized.entropy_bits = via_rebuild.entropy_bits;
+        assert_eq!(normalized, via_rebuild);
+    }
+    let planner = Recommender::default();
+    let (plan_chain, plan_rebuild) = (
+        planner.plan_for_snapshot(&last),
+        planner.plan_for_snapshot(&rebuilt),
+    );
+    assert_eq!(plan_chain.len(), plan_rebuild.len());
+    for (a, b) in plan_chain.iter().zip(&plan_rebuild) {
+        // Same moves; the entropy figures carry the accumulator's drift.
+        assert_eq!(
+            (a.replica, a.from_config, a.to_config),
+            (b.replica, b.from_config, b.to_config)
+        );
+        assert!((a.entropy_after - b.entropy_after).abs() < 1e-9);
+        assert!((a.gain_bits - b.gain_bits).abs() < 1e-9);
+    }
 }
