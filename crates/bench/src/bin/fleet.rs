@@ -10,8 +10,15 @@
 //!   independent work timed serially, total ops divided by the slowest
 //!   shard — what an `N`-core box observes; the JSON records the host's
 //!   parallelism so the two are read together);
-//! * **mixed 90/10** — interleaved monitor reads and churn writes with
-//!   periodic epoch seals;
+//! * **mixed 90/10** and **read-heavy 99/1** — interleaved monitor reads
+//!   and churn writes with periodic epoch seals. Reads go through a
+//!   per-reader [`fi_fleet::SnapshotHandle`] (the wait-free cached fast
+//!   path), the read phase is timed separately (`read_ns_per_op` — the
+//!   per-op read cost that must NOT grow with the shard count), and a
+//!   locked `RwLock<Arc<EpochSnapshot>>` oracle is maintained at every
+//!   seal so the wait-free path's served snapshot can be checked
+//!   byte-identical to what the old locked publication point would have
+//!   served;
 //! * **serving** — lock-free selections/sec over the prebuilt snapshot
 //!   roster vs re-deriving the roster from the registry per query, plus
 //!   the O(1) monitor-query latency;
@@ -22,18 +29,22 @@
 //!
 //! Doubles as a correctness gate: exits non-zero if the sealed snapshot's
 //! content hash differs across shard counts, diverges from the
-//! single-threaded `AttestedRegistry` oracle, or if a differential seal
-//! ever differs from its full-rebuild twin.
+//! single-threaded `AttestedRegistry` oracle, if a differential seal
+//! ever differs from its full-rebuild twin, if the wait-free read path
+//! ever serves a snapshot that differs from the locked oracle, or if the
+//! per-op read cost at 4 shards exceeds the 1-shard cost by more than
+//! [`READ_COST_TOLERANCE`]×.
 //!
 //! ```text
 //! cargo run --release -p fi-bench --bin fleet              # full workload
-//! cargo run --release -p fi-bench --bin fleet -- --smoke   # reduced n (CI)
+//! cargo run --release -p fi-bench --bin fleet -- --smoke   # reduced n, shards {1, 4} (CI)
 //! cargo run --release -p fi-bench --bin fleet -- --shards 4 # single shard count
 //! ```
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use fi_attest::{AttestedRegistry, ChurnOp, RegisteredDevice, TwoTierWeights};
@@ -43,7 +54,15 @@ use fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
 use fi_types::Digest;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The shard counts the smoke (CI) run sweeps — both ends of the
+/// read-cost ratio gate, in one invocation so the gate can fire.
+const SMOKE_SHARD_COUNTS: [usize; 2] = [1, 4];
 const INGEST_BATCH: usize = 4096;
+/// How much the 4-shard per-op read cost may exceed the 1-shard cost
+/// before the harness fails. The wait-free publication point makes the
+/// read path shard-count-independent, so the honest ratio is ~1.0; the
+/// headroom absorbs timer jitter, not contention.
+const READ_COST_TOLERANCE: f64 = 1.5;
 
 fn weights() -> TwoTierWeights {
     TwoTierWeights::default()
@@ -58,12 +77,20 @@ struct IngestRow {
 struct MixedRow {
     shards: usize,
     ops_per_sec: f64,
+    /// Per-op cost of the read phase alone (handle revalidation + the two
+    /// monitor queries), timed separately from writes and seals. This is
+    /// the number that must stay flat as shards rise.
+    read_ns_per_op: f64,
 }
 
 struct ServingStats {
     snapshot_selections_per_sec: f64,
     rebuild_selections_per_sec: f64,
     monitor_query_ns: f64,
+    /// The same monitor-query pair issued through a cached
+    /// [`fi_fleet::SnapshotHandle`] — `monitor_query_ns` plus the
+    /// steady-state revalidation (one relaxed atomic load).
+    handle_read_ns: f64,
 }
 
 struct SealRow {
@@ -76,11 +103,20 @@ struct SealRow {
     bit_identical: bool,
 }
 
-/// The three correctness gates the binary exits non-zero on.
+/// The correctness gates the binary exits non-zero on.
 struct Gates {
     hash_invariant: bool,
     oracle_bit_exact: bool,
     seal_differential_bit_exact: bool,
+    /// After every seal in the mixed/read-heavy loops, the snapshot served
+    /// by the wait-free path hashed identical to the one a
+    /// `RwLock<Arc<EpochSnapshot>>` oracle (the old publication scheme)
+    /// served for the same epoch.
+    wait_free_matches_locked: bool,
+    /// Per-op read cost at 4 shards stayed within
+    /// [`READ_COST_TOLERANCE`]× of the 1-shard cost (vacuously true when
+    /// the sweep didn't run both counts).
+    read_cost_flat: bool,
 }
 
 /// Wall-clock parallel ingest of the whole trace.
@@ -114,30 +150,62 @@ fn measure_critical_path(trace: &[ChurnOp], shards: usize) -> f64 {
     trace.len() as f64 / slowest
 }
 
-/// Mixed 90/10 read/write serving loop: churn lands in small batches while
-/// monitor queries read the currently served snapshot, with an epoch seal
-/// every 16 write batches.
-fn measure_mixed(trace: &[ChurnOp], shards: usize) -> f64 {
+/// Mixed read/write serving loop at `reads_per_write` monitor reads per
+/// churn write: churn lands in small batches, reads go through a cached
+/// per-reader [`fi_fleet::SnapshotHandle`] — i.e. through the real
+/// publication point on every read, not a snapshot cloned once per batch
+/// — and an epoch seals every 16 write batches.
+///
+/// The read phase is timed separately so the row reports a per-op *read*
+/// cost: that is the acceptance metric for the wait-free publication
+/// point (it must not grow with the shard count), and aggregate ops/sec
+/// alone would bury it under ingest and seal time.
+///
+/// Alongside the fleet's wait-free cell the loop maintains the *old*
+/// publication scheme — a `RwLock<Arc<EpochSnapshot>>` updated at every
+/// seal — and after each seal checks that the handle revalidates to a
+/// snapshot byte-identical (content hash) to what the locked path serves.
+/// Returns the row and whether that differential check held throughout.
+fn measure_mix(trace: &[ChurnOp], shards: usize, reads_per_write: usize) -> (MixedRow, bool) {
     const WRITE_BATCH: usize = 64;
-    const READS_PER_BATCH: usize = 9 * WRITE_BATCH;
+    let reads_per_batch = reads_per_write * WRITE_BATCH;
     let fleet = ShardedFleet::new(shards, weights());
+    let locked: RwLock<Arc<EpochSnapshot>> = RwLock::new(fleet.snapshot());
+    let mut handle = fleet.reader();
+    let mut matches_locked = true;
     let mut total_ops = 0usize;
+    let mut read_ops = 0usize;
+    let mut read_secs = 0.0f64;
     let start = Instant::now();
     for (i, batch) in trace.chunks(WRITE_BATCH).enumerate() {
         fleet.ingest_batch(batch);
         total_ops += batch.len();
-        let snap = fleet.snapshot();
-        for _ in 0..READS_PER_BATCH {
+        let t = Instant::now();
+        for _ in 0..reads_per_batch {
+            let snap = handle.get();
             black_box(snap.entropy_bits(true).ok());
             black_box(snap.total_effective_power());
         }
-        total_ops += READS_PER_BATCH;
+        read_secs += t.elapsed().as_secs_f64();
+        read_ops += reads_per_batch;
+        total_ops += reads_per_batch;
         if i % 16 == 15 {
-            black_box(fleet.seal_epoch());
+            let sealed = fleet.seal_epoch();
+            *locked.write().expect("locked oracle") = sealed;
+            matches_locked &=
+                handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
         }
     }
-    black_box(fleet.seal_epoch());
-    total_ops as f64 / start.elapsed().as_secs_f64()
+    let sealed = fleet.seal_epoch();
+    *locked.write().expect("locked oracle") = sealed;
+    matches_locked &=
+        handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
+    let row = MixedRow {
+        shards,
+        ops_per_sec: total_ops as f64 / start.elapsed().as_secs_f64(),
+        read_ns_per_op: read_secs * 1e9 / read_ops as f64,
+    };
+    (row, matches_locked)
 }
 
 /// Today's roster derivation, per query — what serving looked like before
@@ -232,7 +300,12 @@ fn measure_seal(devices: u64, churn_permille: u32, shards: usize) -> SealRow {
     }
 }
 
-fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize) -> ServingStats {
+fn measure_serving(
+    fleet: &ShardedFleet,
+    snapshot: &EpochSnapshot,
+    oracle: &AttestedRegistry,
+    k: usize,
+) -> ServingStats {
     let snapshot_selections_per_sec = rate_per_sec(|| {
         black_box(snapshot.select_greedy(k));
     });
@@ -248,10 +321,22 @@ fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize
     }
     let monitor_query_ns = start.elapsed().as_nanos() as f64 / f64::from(queries);
 
+    // The same query pair, but reaching the snapshot through a cached
+    // reader handle each time — the steady-state wait-free read path.
+    let mut handle = fleet.reader();
+    let start = Instant::now();
+    for _ in 0..queries {
+        let snap = handle.get();
+        black_box(snap.entropy_bits(true).ok());
+        black_box(snap.total_effective_power());
+    }
+    let handle_read_ns = start.elapsed().as_nanos() as f64 / f64::from(queries);
+
     ServingStats {
         snapshot_selections_per_sec,
         rebuild_selections_per_sec,
         monitor_query_ns,
+        handle_read_ns,
     }
 }
 
@@ -259,16 +344,26 @@ fn measure_serving(snapshot: &EpochSnapshot, oracle: &AttestedRegistry, k: usize
 struct Sections<'a> {
     ingest: &'a [IngestRow],
     mixed: &'a [MixedRow],
+    read_heavy: &'a [MixedRow],
     seal: &'a [SealRow],
     serving: &'a ServingStats,
     snapshot: &'a EpochSnapshot,
     gates: &'a Gates,
 }
 
+/// Ratio of the 4-shard per-op read cost to the 1-shard cost — the
+/// scaling-inversion detector. `None` unless the sweep ran both counts.
+fn read_cost_ratio_4v1(rows: &[MixedRow]) -> Option<f64> {
+    let one = rows.iter().find(|r| r.shards == 1)?;
+    let four = rows.iter().find(|r| r.shards == 4)?;
+    Some(four.read_ns_per_op / one.read_ns_per_op)
+}
+
 fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>) -> String {
     let Sections {
         ingest,
         mixed,
+        read_heavy,
         seal,
         serving,
         snapshot,
@@ -312,16 +407,29 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
             "    \"ingest_scaling_8v1_critical_path\": {critical:.2},"
         );
     }
-    let _ = writeln!(out, "    \"mixed_90_10\": [");
-    for (i, r) in mixed.iter().enumerate() {
-        let comma = if i + 1 < mixed.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "      {{\"shards\": {}, \"ops_per_sec\": {:.0}}}{comma}",
-            r.shards, r.ops_per_sec
-        );
+    for (key, rows) in [("mixed_90_10", mixed), ("read_heavy_99_1", read_heavy)] {
+        let _ = writeln!(out, "    \"{key}\": [");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      {{\"shards\": {}, \"ops_per_sec\": {:.0}, \
+                 \"read_ns_per_op\": {:.1}}}{comma}",
+                r.shards, r.ops_per_sec, r.read_ns_per_op
+            );
+        }
+        let _ = writeln!(out, "    ],");
     }
-    let _ = writeln!(out, "    ],");
+    if let Some(ratio) = read_cost_ratio_4v1(read_heavy) {
+        let _ = writeln!(out, "    \"read_cost_ratio_4v1\": {ratio:.2},");
+        let _ = writeln!(out, "    \"read_cost_tolerance\": {READ_COST_TOLERANCE},");
+    }
+    let _ = writeln!(out, "    \"read_cost_flat\": {},", gates.read_cost_flat);
+    let _ = writeln!(
+        out,
+        "    \"wait_free_matches_locked\": {},",
+        gates.wait_free_matches_locked
+    );
     let _ = writeln!(out, "    \"seal\": [");
     for (i, r) in seal.iter().enumerate() {
         let comma = if i + 1 < seal.len() { "," } else { "" };
@@ -363,8 +471,13 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
     );
     let _ = writeln!(
         out,
-        "      \"monitor_query_ns\": {:.1}",
+        "      \"monitor_query_ns\": {:.1},",
         serving.monitor_query_ns
+    );
+    let _ = writeln!(
+        out,
+        "      \"handle_read_ns\": {:.1}",
+        serving.handle_read_ns
     );
     let _ = writeln!(out, "    }},");
     let _ = writeln!(out, "    \"snapshot\": {{");
@@ -460,12 +573,15 @@ fn main() -> ExitCode {
         ChurnTraceConfig::new(100_000, 150_000)
     };
     let k = 64;
-    // `--shards N` restricts every sweep to one shard count (CI runs the
-    // smoke workload at 1 and 4); the default sweeps {1, 2, 4, 8} for
-    // ingest/mixed and {1, 4} for the seal-latency section.
+    // `--shards N` restricts every sweep to one shard count. Otherwise the
+    // full workload sweeps {1, 2, 4, 8} for ingest/mixed/read-heavy and
+    // {1, 4} for the seal-latency section; the smoke workload sweeps
+    // {1, 4} everywhere — both ends of the read-cost ratio gate in one
+    // invocation, which is what CI runs.
     let restricted = shards_override();
     let shard_counts: Vec<usize> = match restricted {
         Some(n) => vec![n],
+        None if smoke => SMOKE_SHARD_COUNTS.to_vec(),
         None => SHARD_COUNTS.to_vec(),
     };
     let seal_shard_counts: Vec<usize> = match restricted {
@@ -500,18 +616,31 @@ fn main() -> ExitCode {
     }
     let hash_invariant = hashes.windows(2).all(|w| w[0] == w[1]);
 
-    println!("== mixed 90/10 read/write serving loop ==");
-    let mixed: Vec<MixedRow> = shard_counts
-        .iter()
-        .map(|&shards| {
-            let ops_per_sec = measure_mixed(&trace, shards);
-            println!("  shards={shards}: {ops_per_sec:>12.0} ops/s");
-            MixedRow {
-                shards,
-                ops_per_sec,
-            }
-        })
-        .collect();
+    let mut wait_free_matches_locked = true;
+    let mut run_mix_sweep = |label: &str, reads_per_write: usize| -> Vec<MixedRow> {
+        println!("== {label} read/write serving loop ==");
+        shard_counts
+            .iter()
+            .map(|&shards| {
+                let (row, matches) = measure_mix(&trace, shards, reads_per_write);
+                wait_free_matches_locked &= matches;
+                println!(
+                    "  shards={shards}: {:>12.0} ops/s | read {:>7.1} ns/op{}",
+                    row.ops_per_sec,
+                    row.read_ns_per_op,
+                    if matches {
+                        ""
+                    } else {
+                        "  LOCKED-ORACLE DIVERGENCE"
+                    }
+                );
+                row
+            })
+            .collect()
+    };
+    let mixed = run_mix_sweep("mixed 90/10", 9);
+    let read_heavy = run_mix_sweep("read-heavy 99/1", 99);
+    let read_cost_flat = read_cost_ratio_4v1(&read_heavy).is_none_or(|r| r <= READ_COST_TOLERANCE);
 
     println!("== seal latency: full rebuild vs differential ==");
     let seal_devices: &[u64] = if smoke { &[10_000] } else { &[10_000, 100_000] };
@@ -544,19 +673,22 @@ fn main() -> ExitCode {
     let final_fleet = ShardedFleet::new(*shard_counts.last().expect("non-empty sweep"), weights());
     final_fleet.ingest_batch(&trace);
     let snapshot = final_fleet.seal_epoch();
-    let serving = measure_serving(&snapshot, &oracle, k);
+    let serving = measure_serving(&final_fleet, &snapshot, &oracle, k);
     println!(
-        "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | monitor query {:.0} ns",
+        "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | monitor query {:.0} ns | via handle {:.0} ns",
         serving.snapshot_selections_per_sec,
         serving.rebuild_selections_per_sec,
         serving.snapshot_selections_per_sec / serving.rebuild_selections_per_sec,
-        serving.monitor_query_ns
+        serving.monitor_query_ns,
+        serving.handle_read_ns
     );
 
     let gates = Gates {
         hash_invariant,
         oracle_bit_exact,
         seal_differential_bit_exact,
+        wait_free_matches_locked,
+        read_cost_flat,
     };
     let fleet_json = render_fleet_json(
         mode,
@@ -564,6 +696,7 @@ fn main() -> ExitCode {
         &Sections {
             ingest: &ingest,
             mixed: &mixed,
+            read_heavy: &read_heavy,
             seal: &seal,
             serving: &serving,
             snapshot: &snapshot,
@@ -596,6 +729,18 @@ fn main() -> ExitCode {
     }
     if !seal_differential_bit_exact {
         eprintln!("FAIL: a differential seal diverged from its full-rebuild twin");
+        return ExitCode::FAILURE;
+    }
+    if !wait_free_matches_locked {
+        eprintln!("FAIL: the wait-free read path served a snapshot the locked oracle didn't");
+        return ExitCode::FAILURE;
+    }
+    if !read_cost_flat {
+        let ratio = read_cost_ratio_4v1(&read_heavy).unwrap_or(f64::NAN);
+        eprintln!(
+            "FAIL: per-op read cost at 4 shards is {ratio:.2}x the 1-shard cost \
+             (tolerance {READ_COST_TOLERANCE}x) — the read path is not shard-count-flat"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

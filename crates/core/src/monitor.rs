@@ -132,6 +132,25 @@ impl DiversityReport {
         ))
     }
 
+    /// [`from_snapshot`](Self::from_snapshot) over a fleet reader's cached
+    /// [`SnapshotHandle`](fi_fleet::SnapshotHandle) — the shared-nothing
+    /// monitoring entry point. The handle revalidates against the fleet's
+    /// epoch stamp with one relaxed load (no lock, no `Arc` clone in
+    /// steady state), so a monitoring thread polling reports between
+    /// seals touches no shared cache line at all; the report itself is
+    /// derived from whichever snapshot the handle currently serves, with
+    /// metrics bit-identical to [`from_snapshot`] on that same snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_snapshot`](Self::from_snapshot).
+    pub fn from_handle(
+        handle: &mut fi_fleet::SnapshotHandle<'_>,
+        include_unattested: bool,
+    ) -> Result<DiversityReport, CoreError> {
+        Self::from_snapshot(handle.get(), include_unattested)
+    }
+
     /// The shared constructor both report paths use: every distribution-
     /// derived metric comes from one place, so the registry and snapshot
     /// paths cannot drift.
@@ -363,6 +382,38 @@ mod tests {
         }
         let empty = fi_fleet::EpochSnapshot::empty(TwoTierWeights::flat());
         assert!(DiversityReport::from_snapshot(&empty, false).is_err());
+    }
+
+    #[test]
+    fn handle_report_matches_snapshot_report_across_seals() {
+        use fi_attest::ChurnOp;
+        use fi_fleet::ShardedFleet;
+        // Reports through a cached reader handle are bit-identical to
+        // reports over the fleet's served snapshot, and the handle tracks
+        // each seal without being recreated.
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        let mut handle = fleet.reader();
+        assert!(DiversityReport::from_handle(&mut handle, true).is_err());
+        for round in 0..3u64 {
+            let batch: Vec<ChurnOp> = (0..12)
+                .map(|i| {
+                    ChurnOp::attest(
+                        ReplicaId::new(round * 12 + i),
+                        sha256(format!("cfg-{}", i % 4).as_bytes()),
+                        VotingPower::new(50 + i),
+                    )
+                })
+                .collect();
+            fleet.ingest_batch(&batch);
+            fleet.seal_epoch();
+            for include in [false, true] {
+                let via_handle = DiversityReport::from_handle(&mut handle, include).unwrap();
+                let via_snapshot =
+                    DiversityReport::from_snapshot(&fleet.snapshot(), include).unwrap();
+                assert_eq!(via_handle, via_snapshot);
+            }
+            assert_eq!(handle.cached_epoch(), round + 1);
+        }
     }
 
     #[test]

@@ -29,20 +29,26 @@
 //! number — all under a dedicated seal mutex. The expensive snapshot
 //! construction happens *outside* every lock, so a slow rebuild stalls
 //! neither ingest nor later sealers' cuts; publication then re-serialises
-//! through an epoch-ordered handoff, so `current` never moves backwards
-//! even under concurrent sealers. Reader threads grab the current
-//! `Arc<EpochSnapshot>` once per query burst and then run committee
-//! selection and monitoring entirely lock-free on the immutable snapshot
-//! while ingest continues on the shards.
+//! through an epoch-ordered handoff, so the served snapshot never moves
+//! backwards even under concurrent sealers. The handoff lands in the
+//! wait-free [`SnapshotCell`] (see [`crate::publish`]): readers clone the
+//! current `Arc<EpochSnapshot>` without taking any lock the sealer
+//! contends on, per-reader [`SnapshotHandle`]s serve steady-state
+//! monitoring queries without touching a shared cache line at all, and
+//! every query then runs entirely lock-free on the immutable snapshot
+//! while ingest continues on the shards. The seal-handoff locks recover
+//! explicitly from poisoning, so a panicking sealer degrades into the
+//! modelled chain-poison fail-fast instead of bricking the fleet.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use fi_attest::{AttestedRegistry, ChurnDelta, ChurnOp, RegisteredDevice, TwoTierWeights};
 use fi_types::{Digest, ReplicaId, VotingPower};
 
 use crate::error::FleetConfigError;
+use crate::publish::{SnapshotCell, SnapshotHandle};
 use crate::snapshot::EpochSnapshot;
 
 /// The default re-anchor cadence: one full (from-scratch) snapshot rebuild
@@ -100,7 +106,10 @@ pub struct ShardedFleet {
     /// rebuild from scratch; `0` means "re-anchor never" (cold start only).
     reanchor_interval: u64,
     epoch: AtomicU64,
-    current: RwLock<Arc<EpochSnapshot>>,
+    /// The wait-free publication point: an epoch-stamped double buffer
+    /// readers clone from without taking any lock the sealer contends on.
+    /// See [`crate::publish`] for the scheme and its monotonicity proof.
+    current: SnapshotCell,
     /// Held shared by every ingest call for its whole batch and exclusively
     /// by the sealer's cut and by [`device_count`](Self::device_count), so
     /// a batch whose sub-batches land on different shards is atomic with
@@ -146,15 +155,32 @@ impl PublishChainGuard<'_> {
 impl Drop for PublishChainGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            // Never panic here: this runs during an unwind. If the state
-            // mutex itself is poisoned, waiters already fail on their own
-            // lock expects.
-            if let Ok(mut state) = self.fleet.publish_state.lock() {
-                state.poisoned = true;
-            }
+            // Never panic here: this runs during an unwind. Recover a
+            // poisoned state mutex too — the logical `poisoned` flag is
+            // the real protocol state, and setting it is exactly what
+            // lets waiters fail fast.
+            lock_recover(&self.fleet.publish_state).poisoned = true;
             self.fleet.publish_cv.notify_all();
         }
     }
+}
+
+/// Seal-handoff lock acquisition with explicit poison recovery.
+///
+/// The seal/publish coordination locks guard *protocol* state (an empty
+/// seal token, the batch gate's `()`, the published-epoch counter + its
+/// logical poison flag) — none of which a panicking holder can leave
+/// half-written in a way the protocol does not already account for: chain
+/// holes are tracked by [`PublishState::poisoned`], which an unwinding
+/// sealer sets via its [`PublishChainGuard`]. Inheriting the `Mutex`'s
+/// *memory* poisoning on top of that turned one panicking sealer into a
+/// permanent brick for every later seal — and, before the wait-free read
+/// path, for every read. Recovery keeps the explicitly modelled failure
+/// semantics and drops the accidental ones. (The per-shard registry locks
+/// deliberately keep their `expect`s: those guard real data a panicking
+/// ingest worker *can* leave mid-batch.)
+fn lock_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl ShardedFleet {
@@ -213,7 +239,7 @@ impl ShardedFleet {
             weights,
             reanchor_interval,
             epoch: AtomicU64::new(0),
-            current: RwLock::new(Arc::new(EpochSnapshot::empty(weights))),
+            current: SnapshotCell::new(Arc::new(EpochSnapshot::empty(weights))),
             batch_gate: RwLock::new(()),
             seal_lock: Mutex::new(()),
             publish_state: Mutex::new(PublishState {
@@ -264,10 +290,12 @@ impl ShardedFleet {
     /// respect to [`seal_epoch`](Self::seal_epoch): a concurrent seal
     /// observes either none or all of it.
     pub fn ingest_batch(&self, ops: &[ChurnOp]) {
+        // The gate guards no data (`()`): recover from poisoning rather
+        // than letting one panicked holder refuse every future batch.
         let _gate = self
             .batch_gate
             .read()
-            .expect("no sealer panicked holding the batch gate");
+            .unwrap_or_else(PoisonError::into_inner);
         if self.shards.len() == 1 {
             self.shards[0]
                 .lock()
@@ -302,7 +330,7 @@ impl ShardedFleet {
         let _gate = self
             .batch_gate
             .read()
-            .expect("no sealer panicked holding the batch gate");
+            .unwrap_or_else(PoisonError::into_inner);
         for op in ops {
             self.shards[self.shard_of(op.replica())]
                 .lock()
@@ -323,7 +351,7 @@ impl ShardedFleet {
         let _gate = self
             .batch_gate
             .write()
-            .expect("no ingest call panicked holding the batch gate");
+            .unwrap_or_else(PoisonError::into_inner);
         self.shards
             .iter()
             .map(|s| {
@@ -361,16 +389,22 @@ impl ShardedFleet {
         // Ingest holds the gate shared and then locks one shard per
         // worker; the sealer takes the gate exclusively *before* any shard
         // lock, so the orderings cannot deadlock.
+        // Armed the instant an epoch number is assigned: from then on this
+        // sealer *owes* the chain that epoch's publication, and a panic
+        // anywhere before the publication (a drain panic, an overflow
+        // expect, a chaining assert) must poison the chain so later
+        // sealers fail fast instead of waiting forever on the hole.
+        let mut chain = PublishChainGuard {
+            fleet: self,
+            armed: false,
+        };
         let (epoch, work) = {
-            let _seal = self
-                .seal_lock
-                .lock()
-                .expect("no sealer panicked holding the seal lock");
+            let _seal = lock_recover(&self.seal_lock);
             let mut guards: Vec<_> = {
                 let _gate = self
                     .batch_gate
                     .write()
-                    .expect("no ingest call panicked holding the batch gate");
+                    .unwrap_or_else(PoisonError::into_inner);
                 self.shards
                     .iter()
                     .map(|s| {
@@ -380,6 +414,7 @@ impl ShardedFleet {
                     .collect()
             };
             let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            chain.armed = true;
             let full = epoch == 1
                 || (self.reanchor_interval > 0 && epoch.is_multiple_of(self.reanchor_interval));
             let work = if full {
@@ -407,15 +442,6 @@ impl ShardedFleet {
                 SealWork::Differential(merged)
             };
             (epoch, work)
-        };
-
-        // From here on this sealer *owes* the chain epoch's publication: if
-        // construction panics (an overflow expect, a chaining assert), the
-        // guard poisons the chain so later sealers fail fast instead of
-        // waiting forever on the hole.
-        let chain = PublishChainGuard {
-            fleet: self,
-            armed: true,
         };
 
         // Phase 2 — construction, outside every lock. Ingest proceeds on
@@ -463,10 +489,7 @@ impl ShardedFleet {
     /// Panics if the publish chain was poisoned by a sealer that unwound
     /// mid-seal — `epoch` can then never be published.
     fn wait_for_published(&self, epoch: u64) -> Arc<EpochSnapshot> {
-        let mut state = self
-            .publish_state
-            .lock()
-            .expect("no sealer panicked holding the publish state");
+        let mut state = lock_recover(&self.publish_state);
         while state.published < epoch {
             assert!(
                 !state.poisoned,
@@ -475,7 +498,7 @@ impl ShardedFleet {
             state = self
                 .publish_cv
                 .wait(state)
-                .expect("no sealer panicked holding the publish state");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(state);
         let snap = self.snapshot();
@@ -491,10 +514,7 @@ impl ShardedFleet {
     /// As [`wait_for_published`](Self::wait_for_published) on a poisoned
     /// chain.
     fn publish(&self, epoch: u64, snapshot: &Arc<EpochSnapshot>) {
-        let mut state = self
-            .publish_state
-            .lock()
-            .expect("no sealer panicked holding the publish state");
+        let mut state = lock_recover(&self.publish_state);
         while state.published + 1 != epoch {
             assert!(
                 !state.poisoned,
@@ -503,35 +523,42 @@ impl ShardedFleet {
             state = self
                 .publish_cv
                 .wait(state)
-                .expect("no sealer panicked holding the publish state");
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        {
-            let mut current = self
-                .current
-                .write()
-                .expect("no reader panicked holding the snapshot lock");
-            assert!(
-                current.epoch() < epoch,
-                "snapshot publication moved backwards: {} then {}",
-                current.epoch(),
-                epoch
-            );
-            *current = Arc::clone(snapshot);
-        }
+        // Wait-free hand-over to the readers: the cell itself re-asserts
+        // that publication never moves backwards.
+        self.current.publish(snapshot);
         state.published = epoch;
         self.publish_cv.notify_all();
     }
 
-    /// The currently served snapshot. Readers clone the `Arc` under a brief
-    /// read lock; every query on the snapshot itself is then lock-free.
+    /// The currently served snapshot, cloned off the wait-free publication
+    /// cell: no lock is taken, a racing seal costs at most a retry of the
+    /// `Arc` clone, and every query on the snapshot itself is lock-free.
+    /// Query bursts and steady-state monitors should prefer a
+    /// [`reader`](Self::reader) handle, which also skips the `Arc` clone.
     #[must_use]
     pub fn snapshot(&self) -> Arc<EpochSnapshot> {
-        Arc::clone(
-            &self
-                .current
-                .read()
-                .expect("no reader panicked holding the snapshot lock"),
-        )
+        self.current.load()
+    }
+
+    /// A per-reader [`SnapshotHandle`]: the shared-nothing monitoring fast
+    /// path. The handle caches the last snapshot and revalidates with one
+    /// relaxed epoch-stamp load, so steady-state `entropy_bits` /
+    /// `device_count` / report queries touch no shared cache line at all.
+    /// Create one handle per reader thread.
+    #[must_use]
+    pub fn reader(&self) -> SnapshotHandle<'_> {
+        SnapshotHandle::new(&self.current)
+    }
+
+    /// The epoch of the most recently *published* snapshot (what
+    /// [`snapshot`](Self::snapshot) serves) — trails
+    /// [`seal_epoch`](Self::seal_epoch)'s return only while a seal is
+    /// mid-construction.
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.current.stamp()
     }
 }
 
@@ -811,6 +838,73 @@ mod tests {
             });
         });
         assert_eq!(fleet.device_count(), (BATCH * BATCHES) as usize);
+    }
+
+    /// Panics a scoped thread while it holds the guard `acquire` returns,
+    /// leaving the underlying lock poisoned.
+    fn poison_by_panic<G>(acquire: impl FnOnce() -> G + Send) {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let _guard = acquire();
+                panic!("poison the lock under test");
+            });
+            assert!(handle.join().is_err(), "the poisoner must have panicked");
+        });
+    }
+
+    #[test]
+    fn reads_and_seals_survive_poisoned_handoff_locks() {
+        // Regression: `snapshot()` used to `.read().unwrap()` a single
+        // `RwLock` publication point, and the seal handoff `.expect`ed its
+        // `Mutex`/`Condvar` state — one thread panicking while holding any
+        // of them bricked every future read and seal. The wait-free read
+        // path takes no such lock, and the remaining handoff locks recover
+        // from poisoning explicitly.
+        let fleet = ShardedFleet::new(4, TwoTierWeights::flat());
+        fleet.ingest_batch(&ops(16));
+        assert_eq!(fleet.seal_epoch().epoch(), 1);
+
+        poison_by_panic(|| fleet.seal_lock.lock().unwrap());
+        poison_by_panic(|| fleet.batch_gate.write().unwrap());
+        poison_by_panic(|| fleet.publish_state.lock().unwrap());
+        assert!(
+            fleet.seal_lock.lock().is_err(),
+            "seal lock must be poisoned"
+        );
+        assert!(
+            fleet.publish_state.lock().is_err(),
+            "publish state must be poisoned"
+        );
+
+        // Reads, ingest, counting, and sealing all still work; the chain
+        // was never logically poisoned (no epoch hole), only the lock
+        // memory was.
+        assert_eq!(fleet.snapshot().epoch(), 1);
+        let mut reader = fleet.reader();
+        assert_eq!(reader.get().epoch(), 1);
+        fleet.ingest_batch(&[ChurnOp::Deregister {
+            replica: ReplicaId::new(0),
+        }]);
+        assert_eq!(fleet.device_count(), 15);
+        let sealed = fleet.seal_epoch();
+        assert_eq!(sealed.epoch(), 2);
+        assert_eq!(sealed.device_count(), 15);
+        assert_eq!(reader.get().epoch(), 2);
+        assert_eq!(fleet.published_epoch(), 2);
+    }
+
+    #[test]
+    fn reader_handle_tracks_seals_and_matches_snapshot() {
+        let fleet = ShardedFleet::new(2, TwoTierWeights::flat());
+        let mut reader = fleet.reader();
+        assert_eq!(reader.get().epoch(), 0);
+        assert_eq!(reader.cached_epoch(), 0);
+        fleet.ingest_batch(&ops(12));
+        let sealed = fleet.seal_epoch();
+        assert_eq!(reader.cached_epoch(), 0, "revalidation is on demand");
+        assert_eq!(reader.get().content_hash(), sealed.content_hash());
+        assert_eq!(reader.snapshot().epoch(), fleet.snapshot().epoch());
+        assert_eq!(fleet.published_epoch(), 1);
     }
 
     #[test]

@@ -29,7 +29,10 @@
 //!   that epoch 1 and every R-th epoch
 //!   ([`ShardedFleet::with_reanchor_interval`]) still perform to re-zero
 //!   floating-point entropy drift.
-//! * Readers clone the current `Arc<EpochSnapshot>` and run
+//! * Readers clone the current `Arc<EpochSnapshot>` off the wait-free
+//!   [`SnapshotCell`] publication point (no lock, seqlock-style epoch
+//!   revalidation) — or, better, hold a per-reader [`SnapshotHandle`]
+//!   whose steady-state revalidation is one relaxed atomic load — and run
 //!   [`select_greedy`](EpochSnapshot::select_greedy),
 //!   [`select_two_tier`](EpochSnapshot::select_two_tier), and monitoring
 //!   queries lock-free while ingest continues.
@@ -67,11 +70,13 @@
 
 pub mod error;
 pub mod fleet;
+pub mod publish;
 pub mod snapshot;
 pub mod trace;
 
 pub use error::FleetConfigError;
 pub use fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
+pub use publish::{SnapshotCell, SnapshotHandle};
 pub use snapshot::EpochSnapshot;
 pub use trace::{churn_trace, measurement_pool, ChurnTraceConfig};
 
@@ -83,6 +88,7 @@ pub use fi_attest::{ChurnDelta, ChurnOp};
 pub mod prelude {
     pub use crate::error::FleetConfigError;
     pub use crate::fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
+    pub use crate::publish::{SnapshotCell, SnapshotHandle};
     pub use crate::snapshot::EpochSnapshot;
     pub use crate::trace::{churn_trace, measurement_pool, ChurnTraceConfig};
     pub use fi_attest::{ChurnDelta, ChurnOp};

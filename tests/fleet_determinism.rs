@@ -174,3 +174,32 @@ fn differential_epoch_chain_lands_on_the_golden_content() {
         assert!((a.gain_bits - b.gain_bits).abs() < 1e-9);
     }
 }
+
+/// A single reader handle held across the whole golden churn trace serves,
+/// after every seal, exactly the snapshot the raw publication point does —
+/// same epoch, same content hash — and the facade's cached read path
+/// (`DiversityReport::from_handle`) stays bit-identical to
+/// `from_snapshot` over it at every epoch.
+#[test]
+fn reader_handle_serves_the_same_chain_as_raw_snapshot_loads() {
+    let cfg = golden_trace_config();
+    let trace = churn_trace(&cfg);
+
+    let fleet = ShardedFleet::new(4, TwoTierWeights::default());
+    let mut handle = fleet.reader();
+    assert_eq!(handle.cached_epoch(), 0);
+    for batch in trace.chunks(2048) {
+        fleet.ingest_batch(batch);
+        let sealed = fleet.seal_epoch();
+        let via_handle = handle.snapshot();
+        assert_eq!(via_handle.epoch(), sealed.epoch());
+        assert_eq!(via_handle.content_hash(), sealed.content_hash());
+        assert_eq!(handle.cached_epoch(), sealed.epoch());
+        assert_eq!(
+            DiversityReport::from_handle(&mut handle, true).unwrap(),
+            DiversityReport::from_snapshot(&fleet.snapshot(), true).unwrap(),
+            "handle read path diverged from the served snapshot at epoch {}",
+            sealed.epoch()
+        );
+    }
+}
