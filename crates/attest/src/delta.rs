@@ -204,6 +204,18 @@ impl ChurnDelta {
         rows
     }
 
+    /// The touched replica ids in sorted order — the churn set a
+    /// warm-started committee re-selection must re-evaluate. Every device
+    /// whose roster row could differ between the pre- and post-delta
+    /// snapshots appears here (final-state semantics already collapsed
+    /// intra-epoch churn).
+    #[must_use]
+    pub fn sorted_touched_replicas(&self) -> Vec<ReplicaId> {
+        let mut rows: Vec<ReplicaId> = self.roster.keys().copied().collect();
+        rows.sort_unstable();
+        rows
+    }
+
     /// Applies this delta's opaque change to a power total.
     ///
     /// # Panics
@@ -277,6 +289,11 @@ mod tests {
         assert_eq!(rows[0].0, ReplicaId::new(2));
         assert_eq!(rows[0].1, Some(dev(2, 20)));
         assert_eq!(rows[1], (ReplicaId::new(9), None));
+        assert_eq!(
+            d.sorted_touched_replicas(),
+            vec![ReplicaId::new(2), ReplicaId::new(9)],
+            "the churn set matches the roster keys, deregistrations included"
+        );
     }
 
     #[test]

@@ -64,6 +64,29 @@ fn bench_selection(c: &mut Criterion) {
     group.bench_function("greedy_diverse/10000x64/k100", |b| {
         b.iter(|| greedy_diverse(black_box(&large), 100));
     });
+    // The serving-grade cold path: same fold, bucket-pruned to each
+    // configuration's analytic-peak band (index prebuilt, as the epoch
+    // snapshot carries it).
+    let roster = PrunedRoster::build(&large);
+    group.bench_function("pruned_select/10000x64/k100", |b| {
+        b.iter(|| black_box(&roster).select(100));
+    });
+    // Warm start at ~1% churn: repair last epoch's committee instead of
+    // re-selecting. The churned rows are low-power non-members, so the
+    // whole committee replays — the steady-state epoch.
+    let previous = roster.select(100);
+    let churned: Vec<ReplicaId> = (0..100u64).map(|i| ReplicaId::new(9_000 + i)).collect();
+    group.bench_function("warm_select/10000x64/k100/churn1pct", |b| {
+        b.iter(|| {
+            warm_greedy(
+                black_box(&roster),
+                black_box(&large),
+                previous.members(),
+                &churned,
+                100,
+            )
+        });
+    });
     // The naive oracle is only affordable at the smallest size; it stays
     // here as the before/after comparison anchor.
     let candidates = pool(100);

@@ -20,8 +20,14 @@
 //!   byte-identical to what the old locked publication point would have
 //!   served;
 //! * **serving** — lock-free selections/sec over the prebuilt snapshot
-//!   roster vs re-deriving the roster from the registry per query, plus
-//!   the O(1) monitor-query latency;
+//!   roster vs re-deriving the roster from the registry per query, the
+//!   memoized [`fi_fleet::SelectionCache`] hit path on a published epoch,
+//!   plus the O(1) monitor-query latency;
+//! * **selection serving** — cold vs warm seal-to-committee latency: after
+//!   a differential seal, how long until a fresh committee is in hand via
+//!   a from-scratch greedy pass over the new roster vs the O(churn)
+//!   warm-start repair seeded from the previous epoch's committee, at
+//!   several fleet sizes and churn rates;
 //! * **seal** — per-epoch seal latency of the full from-scratch rebuild vs
 //!   the differential (delta-patch) path at several fleet sizes and churn
 //!   rates, asserting the two paths' content hashes stay byte-identical
@@ -31,9 +37,12 @@
 //! content hash differs across shard counts, diverges from the
 //! single-threaded `AttestedRegistry` oracle, if a differential seal
 //! ever differs from its full-rebuild twin, if the wait-free read path
-//! ever serves a snapshot that differs from the locked oracle, or if the
+//! ever serves a snapshot that differs from the locked oracle, if the
 //! per-op read cost at 4 shards exceeds the 1-shard cost by more than
-//! [`READ_COST_TOLERANCE`]×.
+//! [`READ_COST_TOLERANCE`]×, or if any warm-start, cached, or
+//! pruned-index selection diverges from the reference greedy oracles
+//! (`greedy_diverse` at full scale, `greedy_diverse_naive` on a
+//! sub-roster spot check).
 //!
 //! ```text
 //! cargo run --release -p fi-bench --bin fleet              # full workload
@@ -49,7 +58,8 @@ use std::time::Instant;
 
 use fi_attest::{AttestedRegistry, ChurnOp, RegisteredDevice, TwoTierWeights};
 use fi_bench::repo_root;
-use fi_committee::{greedy_diverse, Candidate};
+use fi_committee::greedy::greedy_diverse_naive;
+use fi_committee::{greedy_diverse, Candidate, PrunedRoster};
 use fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
 use fi_types::Digest;
 
@@ -86,6 +96,11 @@ struct MixedRow {
 struct ServingStats {
     snapshot_selections_per_sec: f64,
     rebuild_selections_per_sec: f64,
+    /// Repeated quorum queries against one published epoch, answered by
+    /// the fleet's [`fi_fleet::SelectionCache`]: after the first miss
+    /// every query is an O(1) striped-map lookup returning a shared
+    /// `Arc<Committee>`.
+    cached_selections_per_sec: f64,
     monitor_query_ns: f64,
     /// The same monitor-query pair issued through a cached
     /// [`fi_fleet::SnapshotHandle`] — `monitor_query_ns` plus the
@@ -103,6 +118,33 @@ struct SealRow {
     bit_identical: bool,
 }
 
+/// One cold-vs-warm seal-to-committee measurement: after a differential
+/// seal at the given fleet size and churn rate, the latency of getting a
+/// fresh committee via (a) the pre-PR cold path — the full `greedy_diverse`
+/// fold over the prebuilt roster, the committed baseline's
+/// `snapshot_selections_per_sec` — (b) the bucket-pruned cold engine, and
+/// (c) the O(churn) warm-start repair seeded with the previous epoch's
+/// committee.
+struct SelectionRow {
+    devices: u64,
+    churn_permille: u32,
+    cold_select_ms: f64,
+    pruned_select_ms: f64,
+    warm_select_ms: f64,
+    /// Cold (full greedy fold) over warm — the seal-to-committee speedup
+    /// this PR's selection machinery delivers for a churn epoch.
+    speedup: f64,
+    /// Committee slots the warm path replayed verbatim from the previous
+    /// epoch (the rest were repaired or re-run).
+    replayed: usize,
+    /// Whether the churn volume pushed the warm path over its fallback
+    /// threshold into a cold selection.
+    fell_back: bool,
+    /// Warm, cold, and cached selections all byte-identical to the
+    /// reference greedy oracles for this roster.
+    oracle_match: bool,
+}
+
 /// The correctness gates the binary exits non-zero on.
 struct Gates {
     hash_invariant: bool,
@@ -117,6 +159,11 @@ struct Gates {
     /// [`READ_COST_TOLERANCE`]× of the 1-shard cost (vacuously true when
     /// the sweep didn't run both counts).
     read_cost_flat: bool,
+    /// Every warm-start, cached, and pruned-index selection in the
+    /// selection-serving sweep was byte-identical to `greedy_diverse`
+    /// over the full roster, and the pruned index matched
+    /// `greedy_diverse_naive` on a sub-roster spot check.
+    selection_oracle_match: bool,
 }
 
 /// Wall-clock parallel ingest of the whole trace.
@@ -300,6 +347,78 @@ fn measure_seal(devices: u64, churn_permille: u32, shards: usize) -> SealRow {
     }
 }
 
+/// Cold vs warm seal-to-committee: one fleet ingests a registration wave,
+/// seals (full build), then ingests one epoch's worth of churn and seals
+/// again (differential). The row times how long the *second* snapshot
+/// takes to produce a committee from scratch vs via the O(churn)
+/// warm-start repair seeded from the first epoch's committee — and proves
+/// every path (cold pruned-index, warm-start, and the memoized cache)
+/// byte-identical to the reference greedy oracles.
+fn measure_selection_serving(devices: u64, churn_permille: u32, k: usize) -> SelectionRow {
+    let per_epoch = ((devices as usize * churn_permille as usize) / 1000).max(1);
+    let cfg = ChurnTraceConfig {
+        devices,
+        measurements: 64,
+        churn_ops: per_epoch,
+        unattested_permille: 100,
+        seed: 9_341,
+    };
+    let trace = churn_trace(&cfg);
+    let (wave, churn) = trace.split_at(devices as usize);
+
+    let fleet = ShardedFleet::with_reanchor_interval(4, weights(), 0);
+    for batch in wave.chunks(INGEST_BATCH) {
+        fleet.ingest_batch(batch);
+    }
+    let parent = fleet.seal_epoch();
+    let previous = parent.select_greedy(k);
+    // Prime the cache with the parent epoch so the post-churn cached query
+    // below exercises the warm-chained miss path through `parent_hash`.
+    black_box(fleet.select_greedy_cached(k));
+    fleet.ingest_batch(churn);
+    let snap = fleet.seal_epoch();
+
+    let cold_rate = rate_per_sec(|| {
+        black_box(greedy_diverse(snap.candidates(), k));
+    });
+    let pruned_rate = rate_per_sec(|| {
+        black_box(snap.select_greedy(k));
+    });
+    let warm_rate = rate_per_sec(|| {
+        black_box(snap.select_greedy_warm(k, previous.members()));
+    });
+
+    let cold = snap.select_greedy(k);
+    let (warm, report) = snap.select_greedy_warm(k, previous.members());
+    let cached = fleet.select_greedy_cached(k);
+    // Reference oracles: the exact incremental greedy over the full
+    // post-churn roster, and — because the textbook O(n·k·m) greedy is too
+    // slow at fleet scale — `greedy_diverse_naive` on a strided
+    // sub-roster, pinned against the pruned index it benchmarks.
+    let oracle = greedy_diverse(snap.candidates(), k);
+    let stride = (snap.candidates().len() / 1_500).max(1);
+    let sub: Vec<Candidate> = snap.candidates().iter().step_by(stride).copied().collect();
+    let sub_k = k.min(sub.len());
+    let naive_match = greedy_diverse_naive(&sub, sub_k).members()
+        == PrunedRoster::build(&sub).select(sub_k).members();
+    let oracle_match = cold.members() == oracle.members()
+        && warm.members() == oracle.members()
+        && cached.members() == oracle.members()
+        && naive_match;
+
+    SelectionRow {
+        devices,
+        churn_permille,
+        cold_select_ms: 1_000.0 / cold_rate,
+        pruned_select_ms: 1_000.0 / pruned_rate,
+        warm_select_ms: 1_000.0 / warm_rate,
+        speedup: warm_rate / cold_rate,
+        replayed: report.replayed,
+        fell_back: report.fell_back,
+        oracle_match,
+    }
+}
+
 fn measure_serving(
     fleet: &ShardedFleet,
     snapshot: &EpochSnapshot,
@@ -311,6 +430,12 @@ fn measure_serving(
     });
     let rebuild_selections_per_sec = rate_per_sec(|| {
         black_box(greedy_diverse(&build_candidates(oracle), k));
+    });
+    // Prime the memoized path once, then measure the steady-state hit:
+    // repeated quorum queries against one published epoch.
+    black_box(fleet.selection_cache().select_greedy(snapshot, k));
+    let cached_selections_per_sec = rate_per_sec(|| {
+        black_box(fleet.selection_cache().select_greedy(snapshot, k));
     });
 
     let queries = 100_000u32;
@@ -335,6 +460,7 @@ fn measure_serving(
     ServingStats {
         snapshot_selections_per_sec,
         rebuild_selections_per_sec,
+        cached_selections_per_sec,
         monitor_query_ns,
         handle_read_ns,
     }
@@ -346,6 +472,7 @@ struct Sections<'a> {
     mixed: &'a [MixedRow],
     read_heavy: &'a [MixedRow],
     seal: &'a [SealRow],
+    selection: &'a [SelectionRow],
     serving: &'a ServingStats,
     snapshot: &'a EpochSnapshot,
     gates: &'a Gates,
@@ -365,6 +492,7 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
         mixed,
         read_heavy,
         seal,
+        selection,
         serving,
         snapshot,
         gates,
@@ -453,6 +581,33 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
         "    \"seal_differential_bit_exact\": {},",
         gates.seal_differential_bit_exact
     );
+    let _ = writeln!(out, "    \"selection_serving\": [");
+    for (i, r) in selection.iter().enumerate() {
+        let comma = if i + 1 < selection.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"devices\": {}, \"churn_permille\": {}, \
+             \"cold_select_ms\": {:.3}, \"pruned_select_ms\": {:.3}, \
+             \"warm_select_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"replayed\": {}, \"fell_back\": {}, \
+             \"oracle_match\": {}}}{comma}",
+            r.devices,
+            r.churn_permille,
+            r.cold_select_ms,
+            r.pruned_select_ms,
+            r.warm_select_ms,
+            r.speedup,
+            r.replayed,
+            r.fell_back,
+            r.oracle_match
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(
+        out,
+        "    \"selection_oracle_match\": {},",
+        gates.selection_oracle_match
+    );
     let _ = writeln!(out, "    \"serving\": {{");
     let _ = writeln!(
         out,
@@ -468,6 +623,16 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
         out,
         "      \"roster_amortization_speedup\": {:.2},",
         serving.snapshot_selections_per_sec / serving.rebuild_selections_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"cached_selections_per_sec\": {:.1},",
+        serving.cached_selections_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"cache_hit_speedup\": {:.1},",
+        serving.cached_selections_per_sec / serving.snapshot_selections_per_sec
     );
     let _ = writeln!(
         out,
@@ -663,6 +828,31 @@ fn main() -> ExitCode {
     }
     let seal_differential_bit_exact = seal.iter().all(|r| r.bit_identical);
 
+    println!("== selection serving: cold vs warm seal-to-committee ==");
+    let mut selection = Vec::new();
+    for &devices in seal_devices {
+        for permille in [1u32, 10, 100] {
+            let row = measure_selection_serving(devices, permille, k);
+            println!(
+                "  devices={devices} churn={}%: cold {:.3} ms | pruned {:.3} ms | warm {:.3} ms ({:.1}x, replayed {}{}){}",
+                permille as f64 / 10.0,
+                row.cold_select_ms,
+                row.pruned_select_ms,
+                row.warm_select_ms,
+                row.speedup,
+                row.replayed,
+                if row.fell_back { ", FELL BACK" } else { "" },
+                if row.oracle_match {
+                    ""
+                } else {
+                    "  ORACLE DIVERGENCE"
+                }
+            );
+            selection.push(row);
+        }
+    }
+    let mut selection_oracle_match = selection.iter().all(|r| r.oracle_match);
+
     // The single-threaded oracle: the whole trace through one registry.
     let mut oracle = AttestedRegistry::new(weights());
     oracle.apply_batch(&trace);
@@ -675,13 +865,19 @@ fn main() -> ExitCode {
     let snapshot = final_fleet.seal_epoch();
     let serving = measure_serving(&final_fleet, &snapshot, &oracle, k);
     println!(
-        "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | monitor query {:.0} ns | via handle {:.0} ns",
+        "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | cached {:.0}/s ({:.0}x) | monitor query {:.0} ns | via handle {:.0} ns",
         serving.snapshot_selections_per_sec,
         serving.rebuild_selections_per_sec,
         serving.snapshot_selections_per_sec / serving.rebuild_selections_per_sec,
+        serving.cached_selections_per_sec,
+        serving.cached_selections_per_sec / serving.snapshot_selections_per_sec,
         serving.monitor_query_ns,
         serving.handle_read_ns
     );
+    // The memoized answer the serving loop kept returning must itself be
+    // byte-identical to a fresh selection over the sealed roster.
+    selection_oracle_match &= final_fleet.select_greedy_cached(k).members()
+        == greedy_diverse(snapshot.candidates(), k).members();
 
     let gates = Gates {
         hash_invariant,
@@ -689,6 +885,7 @@ fn main() -> ExitCode {
         seal_differential_bit_exact,
         wait_free_matches_locked,
         read_cost_flat,
+        selection_oracle_match,
     };
     let fleet_json = render_fleet_json(
         mode,
@@ -698,6 +895,7 @@ fn main() -> ExitCode {
             mixed: &mixed,
             read_heavy: &read_heavy,
             seal: &seal,
+            selection: &selection,
             serving: &serving,
             snapshot: &snapshot,
             gates: &gates,
@@ -740,6 +938,13 @@ fn main() -> ExitCode {
         eprintln!(
             "FAIL: per-op read cost at 4 shards is {ratio:.2}x the 1-shard cost \
              (tolerance {READ_COST_TOLERANCE}x) — the read path is not shard-count-flat"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !selection_oracle_match {
+        eprintln!(
+            "FAIL: a warm-start, cached, or pruned-index selection diverged \
+             from the reference greedy oracle"
         );
         return ExitCode::FAILURE;
     }

@@ -132,7 +132,10 @@ fn naive_entropy_bits(members: &[Candidate]) -> f64 {
         .unwrap_or(0.0)
 }
 
-fn preferred(a: &Candidate, b: &Candidate) -> bool {
+/// The deterministic tie-break shared by every greedy engine (incremental,
+/// naive oracle, pruned, warm-start): higher stake first, then lower
+/// replica id.
+pub(crate) fn preferred(a: &Candidate, b: &Candidate) -> bool {
     (a.power(), std::cmp::Reverse(a.replica())) > (b.power(), std::cmp::Reverse(b.replica()))
 }
 

@@ -20,6 +20,14 @@
 //! * [`twotier::two_tier_weighted`] — the paper's §V sketch: attested
 //!   candidates weigh more than unattested ones in the sortition.
 //!
+//! Serving-grade execution of the greedy policy lives in two further
+//! modules: [`pruned`] indexes candidates per configuration bucket and
+//! brackets each bucket's *analytic* entropy peak so a cold selection is
+//! subquadratic, and [`warm`] replays the previous epoch's committee
+//! against only the churned candidates so steady-state re-selection is
+//! O(k · churn). Both produce member sequences byte-identical to
+//! [`greedy::greedy_diverse`] (and its naive oracle).
+//!
 //! ## Example
 //!
 //! ```
@@ -48,13 +56,17 @@ pub mod baseline;
 pub mod candidate;
 pub mod capping;
 pub mod greedy;
+pub mod pruned;
 pub mod twotier;
+pub mod warm;
 
 pub use baseline::{random_weighted, top_stake};
 pub use candidate::{Candidate, Committee};
 pub use capping::proportional_cap;
 pub use greedy::greedy_diverse;
+pub use pruned::PrunedRoster;
 pub use twotier::two_tier_weighted;
+pub use warm::{warm_greedy, WarmReport};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -62,5 +74,7 @@ pub mod prelude {
     pub use crate::candidate::{Candidate, Committee};
     pub use crate::capping::proportional_cap;
     pub use crate::greedy::greedy_diverse;
+    pub use crate::pruned::PrunedRoster;
     pub use crate::twotier::two_tier_weighted;
+    pub use crate::warm::{warm_greedy, WarmReport};
 }

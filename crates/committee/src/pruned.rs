@@ -1,0 +1,803 @@
+//! Bucket-pruned greedy selection: the serving-grade cold path.
+//!
+//! [`greedy_diverse`](crate::greedy_diverse) evaluates every remaining
+//! candidate in every round — O(n·k) marginal-gain peeks, which at fleet
+//! scale (n ≈ 10⁵, k ≈ 64) is the slowest serving operation left. But the
+//! marginal gain of adding a candidate depends only on its *(configuration
+//! bucket, power)*, and within one bucket the gain is **strictly unimodal
+//! in power**: writing `W` for the committee's total power, `S` for its
+//! `Σ w·log2 w` term, and `b` for the bucket's current committee power, the
+//! entropy after adding `p` to that bucket is
+//!
+//! ```text
+//! f(p) = log2(W + p) − (S′ + (b + p)·log2(b + p)) / (W + p),
+//! S′ = S − b·log2 b
+//! ```
+//!
+//! whose derivative has the sign of `S′ − (W − b)·log2(b + p)` — strictly
+//! decreasing in `p` whenever `W > b`, so `f` rises to a single analytic
+//! peak at `b + p* = 2^{S′ / (W − b)}` and falls thereafter. A
+//! [`PrunedRoster`] therefore keeps each bucket's candidates sorted by
+//! power, and each selection round binary-searches every bucket for the two
+//! entries bracketing `p*`, then expands outward only while the *exactly
+//! evaluated* gain stays within a guard band of the bucket's best. The peak
+//! position is only a **locator** — every candidate that survives the band
+//! is evaluated with the same [`EntropyAccumulator::peek_add`] arithmetic
+//! and folded with the same tie predicate as [`greedy_diverse`], so the
+//! selected sequence is byte-identical; the band (`1e-9`, three orders of
+//! magnitude wider than the fold's `1e-12` tie window) guarantees every
+//! potential tie contender is evaluated. Cost per round drops from O(n) to
+//! O(C·log L) for C buckets of ≤ L candidates — subquadratic end to end.
+//!
+//! The degenerate bucket `W == b` (the committee is empty, or holds power
+//! only in this bucket) has `f ≡ +0.0` exactly for *every* candidate — the
+//! accumulator pins single-support entropy to `+0.0` — so the fold reduces
+//! to the max-preferred unselected entry: the tail of the power-sorted
+//! list.
+//!
+//! The roster is also the warm-start substrate: it is maintained
+//! differentially (entry insert/remove in O(log L + L), bucket slot splices
+//! in O(C)), so an epoch snapshot can carry it forward through churn
+//! patches instead of re-sorting the fleet per selection. See
+//! [`crate::warm`] for the replay layer on top.
+
+use std::cmp::Reverse;
+
+use fi_entropy::EntropyAccumulator;
+use fi_types::{ReplicaId, VotingPower};
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::{Candidate, Committee};
+use crate::greedy::preferred;
+
+/// The fold's tie window — identical to [`greedy_diverse`]'s literal, so
+/// the pruned engine resolves entropy ties with byte-identical semantics.
+///
+/// [`greedy_diverse`]: crate::greedy_diverse
+pub(crate) const TIE_EPS: f64 = 1e-12;
+
+/// The pruning guard band: entries whose exactly-evaluated gain falls this
+/// far below their bucket's best are provably irrelevant to the fold (the
+/// band is 10³× the tie window), so the outward walk stops there.
+const BAND: f64 = 1e-9;
+
+/// `w · log2 w` with the `0 · log 0 := 0` convention — local copy for the
+/// peak *locator* only; every decision uses the accumulator's exact peeks.
+#[inline]
+fn xlog2(w: u64) -> f64 {
+    if w == 0 {
+        0.0
+    } else {
+        let x = w as f64;
+        x * x.log2()
+    }
+}
+
+/// One candidate as stored in a bucket list. Configuration and list
+/// position are implied by the owning bucket, so bucket-slot splices never
+/// rewrite entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PrunedEntry {
+    power: u64,
+    replica: ReplicaId,
+    attested: bool,
+}
+
+/// Ascending sort key: power, then *descending* replica id — so the list
+/// tail is always the max-preferred entry (highest power, lowest replica),
+/// mirroring [`preferred`].
+#[inline]
+fn entry_key(e: &PrunedEntry) -> (u64, Reverse<ReplicaId>) {
+    (e.power, Reverse(e.replica))
+}
+
+/// A candidate roster indexed for pruned greedy selection: per-configuration
+/// candidate lists sorted ascending by (power, descending replica id).
+///
+/// Zero-power candidates are excluded (they can never be selected — the
+/// greedy policies skip them), and a configuration whose candidates all
+/// left keeps its (empty) list so *dense* rosters — where configuration
+/// values are bucket positions `0..num_configs`, the epoch-snapshot layout
+/// — stay positionally aligned until [`splice_dense_slots`] renumbers them.
+///
+/// [`splice_dense_slots`]: Self::splice_dense_slots
+///
+/// # Example
+///
+/// ```
+/// use fi_committee::{greedy_diverse, Candidate, PrunedRoster};
+/// use fi_types::{ReplicaId, VotingPower};
+///
+/// let candidates: Vec<Candidate> = (0..40u64)
+///     .map(|i| Candidate::new(
+///         ReplicaId::new(i),
+///         VotingPower::new(1 + (i * 13) % 97),
+///         (i % 5) as usize,
+///         true,
+///     ))
+///     .collect();
+/// let roster = PrunedRoster::build(&candidates);
+/// // Byte-identical member sequence, subquadratic cost.
+/// assert_eq!(
+///     roster.select(8).members(),
+///     greedy_diverse(&candidates, 8).members()
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrunedRoster {
+    /// Sorted distinct configuration values, parallel to `lists`.
+    configs: Vec<usize>,
+    /// Per-configuration candidate lists, each sorted by [`entry_key`].
+    lists: Vec<Vec<PrunedEntry>>,
+    /// Total entries across all lists.
+    len: usize,
+}
+
+impl PrunedRoster {
+    /// Indexes `candidates` (arbitrary, possibly sparse configuration
+    /// values; zero-power candidates dropped). O(n log n).
+    #[must_use]
+    pub fn build(candidates: &[Candidate]) -> Self {
+        let mut configs: Vec<usize> = candidates
+            .iter()
+            .filter(|c| !c.power().is_zero())
+            .map(Candidate::config)
+            .collect();
+        configs.sort_unstable();
+        configs.dedup();
+        let mut roster = PrunedRoster {
+            lists: vec![Vec::new(); configs.len()],
+            configs,
+            len: 0,
+        };
+        roster.fill(candidates, |roster, c| {
+            roster
+                .configs
+                .binary_search(&c.config())
+                .expect("every positive-power config is in the slot map")
+        });
+        roster
+    }
+
+    /// Indexes `candidates` whose configuration values are *dense* slot
+    /// positions `0..slots` (the epoch-snapshot layout: one slot per sorted
+    /// measurement bucket plus the trailing unattested pseudo-slot). Slots
+    /// without positive-power candidates keep empty lists, so list position
+    /// equals configuration value — the precondition for
+    /// [`splice_dense_slots`](Self::splice_dense_slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any positive-power candidate's configuration is ≥ `slots`.
+    #[must_use]
+    pub fn from_dense(slots: usize, candidates: &[Candidate]) -> Self {
+        let mut roster = PrunedRoster {
+            configs: (0..slots).collect(),
+            lists: vec![Vec::new(); slots],
+            len: 0,
+        };
+        roster.fill(candidates, |_, c| c.config());
+        roster
+    }
+
+    /// Shared bulk-build tail: bucket every positive-power candidate, then
+    /// sort each list once.
+    fn fill(&mut self, candidates: &[Candidate], slot_of: impl Fn(&Self, &Candidate) -> usize) {
+        for c in candidates {
+            if c.power().is_zero() {
+                continue;
+            }
+            let li = slot_of(self, c);
+            self.lists[li].push(PrunedEntry {
+                power: c.power().as_units(),
+                replica: c.replica(),
+                attested: c.attested(),
+            });
+            self.len += 1;
+        }
+        for list in &mut self.lists {
+            list.sort_unstable_by_key(entry_key);
+        }
+    }
+
+    /// Number of indexed (positive-power) candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no candidate is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of configuration slots (empty ones included).
+    #[must_use]
+    pub fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Inserts one candidate in O(log C + L): locates (or creates) its
+    /// configuration list and splices the entry into sort position.
+    /// Zero-power candidates are ignored, mirroring [`build`](Self::build).
+    pub fn insert(&mut self, c: &Candidate) {
+        if c.power().is_zero() {
+            return;
+        }
+        let li = match self.configs.binary_search(&c.config()) {
+            Ok(li) => li,
+            Err(pos) => {
+                self.configs.insert(pos, c.config());
+                self.lists.insert(pos, Vec::new());
+                pos
+            }
+        };
+        let e = PrunedEntry {
+            power: c.power().as_units(),
+            replica: c.replica(),
+            attested: c.attested(),
+        };
+        let list = &mut self.lists[li];
+        let pos = list.partition_point(|x| entry_key(x) < entry_key(&e));
+        list.insert(pos, e);
+        self.len += 1;
+    }
+
+    /// Removes one candidate by its exact `(config, power, replica)` row in
+    /// O(log C + log L + L); returns whether it was present. The
+    /// configuration list is kept even when emptied (dense rosters need the
+    /// positional alignment; selection skips empty lists).
+    pub fn remove(&mut self, c: &Candidate) -> bool {
+        if c.power().is_zero() {
+            return false;
+        }
+        let Ok(li) = self.configs.binary_search(&c.config()) else {
+            return false;
+        };
+        let key = (c.power().as_units(), Reverse(c.replica()));
+        let list = &mut self.lists[li];
+        match list.binary_search_by(|x| entry_key(x).cmp(&key)) {
+            Ok(pos) => {
+                list.remove(pos);
+                self.len -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Splices configuration *slots* of a dense roster (one whose
+    /// configuration values are list positions, as built by
+    /// [`from_dense`](Self::from_dense)): drops the lists at `removals`
+    /// (ascending old positions — they must already be empty), inserts
+    /// empty lists at `insertions` (ascending final positions), then
+    /// renumbers configurations to `0..num_configs`. O(C). This mirrors the
+    /// epoch snapshot's accumulator splice on bucket birth/death.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removed slot still holds entries (its members were not
+    /// removed first) or an index is out of range.
+    pub fn splice_dense_slots(&mut self, removals: &[usize], insertions: &[usize]) {
+        debug_assert!(
+            self.configs.iter().enumerate().all(|(i, &c)| i == c),
+            "slot splicing requires a dense roster"
+        );
+        for &at in removals.iter().rev() {
+            assert!(
+                self.lists[at].is_empty(),
+                "removing config slot {at} that still has entries"
+            );
+            self.lists.remove(at);
+        }
+        for &at in insertions {
+            self.lists.insert(at, Vec::new());
+        }
+        self.configs = (0..self.lists.len()).collect();
+    }
+
+    /// Greedy entropy-maximising selection of `k` members — the
+    /// byte-identical member sequence of
+    /// [`greedy_diverse`](crate::greedy_diverse) over the indexed
+    /// candidates, in O(k·C·log L) instead of O(n·k).
+    #[must_use]
+    pub fn select(&self, k: usize) -> Committee {
+        let mut run = SelectionRun::new(self);
+        run.run_to(k);
+        run.into_committee()
+    }
+}
+
+/// The churned candidate rows a warm-start replay must test each verified
+/// round against, grouped by configuration and sorted by [`entry_key`] —
+/// built once per [`crate::warm::warm_greedy`] call so each round's
+/// displacement check walks only each bucket's analytic-peak band instead
+/// of peeking every churned row.
+pub(crate) struct ChallengerSet {
+    /// (configuration value, entries sorted by [`entry_key`]).
+    groups: Vec<(usize, Vec<PrunedEntry>)>,
+}
+
+impl ChallengerSet {
+    pub(crate) fn new(rows: impl IntoIterator<Item = Candidate>) -> Self {
+        let mut entries: Vec<(usize, PrunedEntry)> = rows
+            .into_iter()
+            .filter(|c| !c.power().is_zero())
+            .map(|c| {
+                (
+                    c.config(),
+                    PrunedEntry {
+                        power: c.power().as_units(),
+                        replica: c.replica(),
+                        attested: c.attested(),
+                    },
+                )
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(config, e)| (*config, entry_key(e)));
+        let mut groups: Vec<(usize, Vec<PrunedEntry>)> = Vec::new();
+        for (config, e) in entries {
+            match groups.last_mut() {
+                Some((c, list)) if *c == config => list.push(e),
+                _ => groups.push((config, vec![e])),
+            }
+        }
+        ChallengerSet { groups }
+    }
+}
+
+/// In-flight selection state over a [`PrunedRoster`]: the committee
+/// accumulator (slots parallel to the roster's lists), the members picked
+/// so far, and the selected-replica skip set. Shared by the cold engine and
+/// the warm-start replay in [`crate::warm`].
+pub(crate) struct SelectionRun<'a> {
+    roster: &'a PrunedRoster,
+    acc: EntropyAccumulator,
+    members: Vec<Candidate>,
+    /// Sorted; binary-searched by the band walks to skip picked entries.
+    selected: Vec<ReplicaId>,
+}
+
+impl<'a> SelectionRun<'a> {
+    pub(crate) fn new(roster: &'a PrunedRoster) -> Self {
+        SelectionRun {
+            roster,
+            acc: EntropyAccumulator::new(roster.lists.len()),
+            members: Vec::new(),
+            selected: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub(crate) fn is_selected(&self, replica: ReplicaId) -> bool {
+        self.selected.binary_search(&replica).is_ok()
+    }
+
+    /// The marginal entropy of adding `power` at configuration `config` —
+    /// the exact arithmetic every selection decision is made with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has no roster slot (only possible for a
+    /// zero-power candidate's configuration; callers filter those).
+    pub(crate) fn peek(&self, config: usize, power: u64) -> f64 {
+        let li = self
+            .roster
+            .configs
+            .binary_search(&config)
+            .expect("peeked config has a roster slot");
+        self.acc.peek_add(li, power)
+    }
+
+    /// Commits `c` to the committee: accumulator add + skip-set insert.
+    pub(crate) fn accept(&mut self, c: Candidate) {
+        let li = self
+            .roster
+            .configs
+            .binary_search(&c.config())
+            .expect("accepted member's config has a roster slot");
+        self.acc.add(li, c.power().as_units());
+        let pos = self
+            .selected
+            .binary_search(&c.replica())
+            .expect_err("a replica is selected at most once");
+        self.selected.insert(pos, c.replica());
+        self.members.push(c);
+    }
+
+    /// Runs full greedy rounds until `k` members are picked or the roster
+    /// is exhausted.
+    pub(crate) fn run_to(&mut self, k: usize) {
+        while self.members.len() < k && self.round() {}
+    }
+
+    pub(crate) fn into_committee(self) -> Committee {
+        Committee::new(self.members)
+    }
+
+    /// The most recently committed member, if any.
+    pub(crate) fn last_member(&self) -> Option<&Candidate> {
+        self.members.last()
+    }
+
+    /// Exact displacement test for one warm-replay round: would any
+    /// unselected challenger row beat `incumbent` (whose marginal gain is
+    /// `incumbent_gain`) under the [`greedy_diverse`] fold predicate?
+    ///
+    /// Each challenger bucket is walked outward from its analytic peak,
+    /// exactly as [`scan_bucket`](Self::scan_bucket) does; an entry pruned
+    /// by the band (`h < ceiling − BAND`) cannot displace, because a
+    /// displacing entry needs `h ≥ incumbent_gain − TIE_EPS`, and if the
+    /// band ceiling exceeded `incumbent_gain − TIE_EPS + BAND` then the
+    /// ceiling entry itself already displaced strictly when it was
+    /// evaluated. So the test is byte-equivalent to peeking every churned
+    /// row, at O(log L + band) per bucket.
+    ///
+    /// [`greedy_diverse`]: crate::greedy_diverse
+    pub(crate) fn any_displaces(
+        &self,
+        challengers: &ChallengerSet,
+        incumbent: &Candidate,
+        incumbent_gain: f64,
+    ) -> bool {
+        let displaces = |e: &PrunedEntry, li: usize, h: f64| {
+            let cand = Candidate::new(
+                e.replica,
+                VotingPower::new(e.power),
+                self.roster.configs[li],
+                e.attested,
+            );
+            h > incumbent_gain + TIE_EPS
+                || ((h - incumbent_gain).abs() <= TIE_EPS && preferred(&cand, incumbent))
+        };
+        for (config, list) in &challengers.groups {
+            let li = self
+                .roster
+                .configs
+                .binary_search(config)
+                .expect("challenger config has a roster slot");
+            let b = self.acc.weight(li);
+            let w = self.acc.total_weight();
+            if w == b {
+                // Degenerate bucket: every entry lands on exactly +0.0, so
+                // only the max-preferred unselected entry can matter.
+                if let Some(e) = list.iter().rev().find(|e| !self.is_selected(e.replica)) {
+                    let h = self.acc.peek_add(li, e.power);
+                    if displaces(e, li, h) {
+                        return true;
+                    }
+                }
+                continue;
+            }
+            let s_prime = self.acc.weighted_log_sum() - xlog2(b);
+            let target = (s_prime / ((w - b) as f64)).exp2() - b as f64;
+            let idx = list.partition_point(|e| (e.power as f64) < target);
+            let mut ceiling = f64::NEG_INFINITY;
+            for e in list[..idx].iter().rev() {
+                if self.is_selected(e.replica) {
+                    continue;
+                }
+                let h = self.acc.peek_add(li, e.power);
+                if h < ceiling - BAND {
+                    break;
+                }
+                if h > ceiling {
+                    ceiling = h;
+                }
+                if displaces(e, li, h) {
+                    return true;
+                }
+            }
+            for e in &list[idx..] {
+                if self.is_selected(e.replica) {
+                    continue;
+                }
+                let h = self.acc.peek_add(li, e.power);
+                if h < ceiling - BAND {
+                    break;
+                }
+                if h > ceiling {
+                    ceiling = h;
+                }
+                if displaces(e, li, h) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// One greedy round: bracket every bucket's analytic peak, evaluate the
+    /// surviving band exactly, fold with [`greedy_diverse`]'s tie
+    /// predicate, commit the winner. Returns `false` when no unselected
+    /// candidate remains.
+    ///
+    /// [`greedy_diverse`]: crate::greedy_diverse
+    pub(crate) fn round(&mut self) -> bool {
+        let mut best: Option<(Candidate, f64)> = None;
+        for li in 0..self.roster.lists.len() {
+            self.scan_bucket(li, &mut best);
+        }
+        match best {
+            Some((winner, _)) => {
+                self.accept(winner);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Folds `e` (evaluated at `h`) into the running best under the exact
+    /// [`greedy_diverse`] predicate.
+    ///
+    /// [`greedy_diverse`]: crate::greedy_diverse
+    fn fold(&self, li: usize, e: &PrunedEntry, h: f64, best: &mut Option<(Candidate, f64)>) {
+        let cand = Candidate::new(
+            e.replica,
+            VotingPower::new(e.power),
+            self.roster.configs[li],
+            e.attested,
+        );
+        let better = match best {
+            None => true,
+            Some((best_c, best_h)) => {
+                h > *best_h + TIE_EPS
+                    || ((h - *best_h).abs() <= TIE_EPS && preferred(&cand, best_c))
+            }
+        };
+        if better {
+            *best = Some((cand, h));
+        }
+    }
+
+    /// Evaluates bucket `li`'s band around the analytic peak.
+    fn scan_bucket(&self, li: usize, best: &mut Option<(Candidate, f64)>) {
+        let list = &self.roster.lists[li];
+        if list.is_empty() {
+            return;
+        }
+        let b = self.acc.weight(li);
+        let w = self.acc.total_weight();
+        if w == b {
+            // Degenerate bucket: the whole committee's power (possibly
+            // zero) already sits here, so every candidate lands on
+            // single-support entropy — exactly +0.0 — and the fold reduces
+            // to the max-preferred unselected entry, i.e. the list tail.
+            if let Some(e) = list.iter().rev().find(|e| !self.is_selected(e.replica)) {
+                let h = self.acc.peek_add(li, e.power);
+                self.fold(li, e, h, best);
+            }
+            return;
+        }
+
+        // Analytic peak locator: f peaks where b + p = 2^{S′/(W−b)}. Float
+        // error (or ±∞ saturation) only shifts where the walk *starts*;
+        // the exact evaluations below decide everything.
+        let s_prime = self.acc.weighted_log_sum() - xlog2(b);
+        let target = (s_prime / ((w - b) as f64)).exp2() - b as f64;
+        let idx = list.partition_point(|e| (e.power as f64) < target);
+
+        // Expand outward from the bracket. f is unimodal in power, so each
+        // direction's gains only fall; once one drops below the band
+        // ceiling minus the guard band it — and everything beyond it — is
+        // provably outside any possible tie with the round winner.
+        let mut ceiling = f64::NEG_INFINITY;
+        for e in list[..idx].iter().rev() {
+            if self.is_selected(e.replica) {
+                continue;
+            }
+            let h = self.acc.peek_add(li, e.power);
+            if h < ceiling - BAND {
+                break;
+            }
+            if h > ceiling {
+                ceiling = h;
+            }
+            self.fold(li, e, h, best);
+        }
+        for e in &list[idx..] {
+            if self.is_selected(e.replica) {
+                continue;
+            }
+            let h = self.acc.peek_add(li, e.power);
+            if h < ceiling - BAND {
+                break;
+            }
+            if h > ceiling {
+                ceiling = h;
+            }
+            self.fold(li, e, h, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_diverse, greedy_diverse_naive};
+
+    fn pool(n: u64, m: usize) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(1 + (i * 37) % 500),
+                    (i as usize * i as usize) % m,
+                    i % 3 != 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruned_matches_incremental_and_naive() {
+        let candidates = pool(60, 7);
+        let roster = PrunedRoster::build(&candidates);
+        for k in [0, 1, 5, 13, 40, 60, 100] {
+            let pruned = roster.select(k);
+            assert_eq!(pruned.members(), greedy_diverse(&candidates, k).members());
+            assert_eq!(
+                pruned.members(),
+                greedy_diverse_naive(&candidates, k).members(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_handles_ties_and_zero_power() {
+        // Heavy exact ties (many equal powers) plus zero-power rows.
+        let mut candidates: Vec<Candidate> = (0..30u64)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(10),
+                    (i % 3) as usize,
+                    true,
+                )
+            })
+            .collect();
+        candidates.push(Candidate::new(
+            ReplicaId::new(99),
+            VotingPower::ZERO,
+            0,
+            true,
+        ));
+        let roster = PrunedRoster::build(&candidates);
+        assert_eq!(roster.len(), 30);
+        for k in [1, 2, 7, 30] {
+            assert_eq!(
+                roster.select(k).members(),
+                greedy_diverse(&candidates, k).members(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_matches_on_sparse_configs() {
+        let candidates: Vec<Candidate> = (0..24u64)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(1 + (i * 37) % 500),
+                    ((i * i) as usize % 7) * 1_000_003,
+                    true,
+                )
+            })
+            .collect();
+        let roster = PrunedRoster::build(&candidates);
+        for k in [1, 5, 12, 24] {
+            assert_eq!(
+                roster.select(k).members(),
+                greedy_diverse_naive(&candidates, k).members(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_build_matches_sparse_build() {
+        let candidates = pool(48, 6);
+        let sparse = PrunedRoster::build(&candidates);
+        let dense = PrunedRoster::from_dense(6, &candidates);
+        for k in [1, 6, 20, 48] {
+            assert_eq!(sparse.select(k).members(), dense.select(k).members());
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_bulk_build() {
+        let mut candidates = pool(40, 5);
+        let mut roster = PrunedRoster::build(&candidates);
+        // Remove a third, add some newcomers, re-power one.
+        let removed: Vec<Candidate> = candidates.iter().copied().step_by(3).collect();
+        for c in &removed {
+            assert!(roster.remove(c));
+            assert!(!roster.remove(c), "double-remove reports absence");
+        }
+        candidates.retain(|c| !removed.contains(c));
+        for i in 100..108u64 {
+            let c = Candidate::new(
+                ReplicaId::new(i),
+                VotingPower::new(7 * i),
+                (i % 9) as usize,
+                true,
+            );
+            roster.insert(&c);
+            candidates.push(c);
+        }
+        let rebuilt = PrunedRoster::build(&candidates);
+        assert_eq!(roster.len(), rebuilt.len());
+        for k in [1, 4, 17, 40] {
+            assert_eq!(
+                roster.select(k).members(),
+                greedy_diverse(&candidates, k).members(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_slot_splices_track_bucket_birth_and_death() {
+        // Dense roster over 4 slots; empty slot 2's bucket dies, a new
+        // bucket is born at position 1.
+        let candidates: Vec<Candidate> = vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::new(50), 0, true),
+            Candidate::new(ReplicaId::new(1), VotingPower::new(30), 1, true),
+            Candidate::new(ReplicaId::new(2), VotingPower::new(20), 2, true),
+            Candidate::new(ReplicaId::new(3), VotingPower::new(10), 3, true),
+        ];
+        let mut roster = PrunedRoster::from_dense(4, &candidates);
+        // Slot 2's only member departs, then the slot is spliced out and a
+        // fresh slot inserted at position 1; surviving entries keep their
+        // *new* positional configs.
+        assert!(roster.remove(&candidates[2]));
+        roster.splice_dense_slots(&[2], &[1]);
+        assert_eq!(roster.num_configs(), 4);
+        let newcomer = Candidate::new(ReplicaId::new(9), VotingPower::new(40), 1, true);
+        roster.insert(&newcomer);
+        // Expected final layout: old slots 0,1,3 → 0,2,3 plus the newcomer
+        // at slot 1.
+        let patched: Vec<Candidate> = vec![
+            Candidate::new(ReplicaId::new(0), VotingPower::new(50), 0, true),
+            newcomer,
+            Candidate::new(ReplicaId::new(1), VotingPower::new(30), 2, true),
+            Candidate::new(ReplicaId::new(3), VotingPower::new(10), 3, true),
+        ];
+        assert_eq!(roster, PrunedRoster::from_dense(4, &patched));
+        for k in [1, 2, 4] {
+            assert_eq!(
+                roster.select(k).members(),
+                greedy_diverse(&patched, k).members()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "still has entries")]
+    fn splicing_out_a_populated_slot_panics() {
+        let candidates = vec![Candidate::new(
+            ReplicaId::new(0),
+            VotingPower::new(5),
+            0,
+            true,
+        )];
+        let mut roster = PrunedRoster::from_dense(1, &candidates);
+        roster.splice_dense_slots(&[0], &[]);
+    }
+
+    #[test]
+    fn empty_roster_selects_nothing() {
+        let roster = PrunedRoster::build(&[]);
+        assert!(roster.is_empty());
+        assert!(roster.select(5).is_empty());
+        let dense = PrunedRoster::from_dense(3, &[]);
+        assert_eq!(dense.num_configs(), 3);
+        assert!(dense.select(5).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Warm-start greedy re-selection: O(churn) committee repair.
+//!
+//! Consecutive epochs share almost their entire candidate roster — a fleet
+//! epoch typically churns well under 1% of devices — yet a cold selection
+//! re-derives every round from scratch. Warm start exploits the structure
+//! of the greedy fold instead: round `r`'s winner depends only on the
+//! committee state built by rounds `< r` (the accumulator's bucket-keyed
+//! weights) and on each candidate's own `(bucket, power)` row. If the first
+//! `r` members of the previous committee are all *untouched* by the churn,
+//! replaying them reproduces bit-identical accumulator states, so every
+//! untouched candidate's marginal gain at round `r` is the bit-identical
+//! float it was last epoch — the previous winner still beats all of them,
+//! and only the **churned** rows (arrived, departed, re-powered, or
+//! re-attested devices) need to be evaluated against it. The churned rows
+//! are resolved and bucket-grouped once per call, so each round's
+//! displacement check walks only each churned bucket's analytic-peak band
+//! (the cold engine's own pruning, byte-equivalent to peeking every row);
+//! a full epoch whose committee survives costs O(k · churned-buckets)
+//! band walks instead of O(k · n) peeks.
+//!
+//! When a churned row does contend — it wins, or ties within the fold
+//! window — the round is recomputed with the full pruned engine
+//! ([`PrunedRoster::select`]'s internals). If the incumbent still wins the
+//! exact fold, the verified prefix is unchanged and replay resumes; if the
+//! winner differs (the previous member was churned away or genuinely
+//! displaced), the remaining rounds are pruned-engine repairs seeded with
+//! the verified prefix — never a cold re-sort. When churn is so heavy that
+//! replay cannot pay for itself, [`warm_greedy`] skips straight to the
+//! cold pruned selection (see [`WarmReport::fell_back`]).
+
+use fi_types::ReplicaId;
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::{Candidate, Committee};
+use crate::pruned::{ChallengerSet, PrunedRoster, SelectionRun};
+
+/// Churn threshold for attempting a replay at all: verification costs
+/// O(k · churn), so once the churned set approaches a meaningful fraction
+/// of the roster the cold pruned path is cheaper *and* has no divergence
+/// risk to pay for. `churned · 8 > roster` (≈ 12.5%) is far above any
+/// steady-state epoch.
+const FALLBACK_CHURN_DENOMINATOR: usize = 8;
+
+/// How a warm-start selection was produced — the serving bench and the
+/// differential suites use this to assert the fast path actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmReport {
+    /// Rounds reproduced by verifying the previous committee's member
+    /// against the churned rows only.
+    pub replayed: usize,
+    /// Rounds recomputed by the pruned engine (divergence repair, or
+    /// extension past the previous committee's length).
+    pub repaired: usize,
+    /// Whether the churn threshold routed the whole selection to the cold
+    /// pruned path (`replayed == 0` then).
+    pub fell_back: bool,
+}
+
+/// Selects `k` members over `roster`, warm-started from `previous` (the
+/// last epoch's committee for the same `k`-policy, in selection order) and
+/// `churned` (the sorted replica ids touched between the two epochs —
+/// arrivals, departures, and any power/measurement change). `candidates`
+/// is the current roster's full candidate slice sorted by replica id (the
+/// epoch snapshot's layout), used to translate replicas to current rows.
+///
+/// **Byte-identity contract:** the returned committee is the identical
+/// member sequence to a cold [`greedy_diverse`](crate::greedy_diverse) /
+/// [`PrunedRoster::select`] over the same roster — replay only ever
+/// *verifies* the previous winner with the exact fold arithmetic and tie
+/// predicate, and hands any divergence to the full engine. The
+/// differential proptests pin this at every intermediate epoch of random
+/// churn chains.
+///
+/// `churned` must contain every replica whose roster row differs from the
+/// epoch `previous` was selected on (extra untouched replicas are
+/// harmless); `previous` may be any length (longer committees' prefixes
+/// are valid — greedy selection is prefix-stable).
+#[must_use]
+pub fn warm_greedy(
+    roster: &PrunedRoster,
+    candidates: &[Candidate],
+    previous: &[Candidate],
+    churned: &[ReplicaId],
+    k: usize,
+) -> (Committee, WarmReport) {
+    debug_assert!(
+        candidates
+            .windows(2)
+            .all(|w| w[0].replica() < w[1].replica()),
+        "candidates must be sorted by replica id"
+    );
+    debug_assert!(
+        churned.windows(2).all(|w| w[0] < w[1]),
+        "churned replicas must be sorted"
+    );
+    if churned.len() * FALLBACK_CHURN_DENOMINATOR > roster.len() {
+        return (
+            roster.select(k),
+            WarmReport {
+                replayed: 0,
+                repaired: 0,
+                fell_back: true,
+            },
+        );
+    }
+
+    let row_of = |replica: ReplicaId| -> Option<Candidate> {
+        candidates
+            .binary_search_by_key(&replica, Candidate::replica)
+            .ok()
+            .map(|pos| candidates[pos])
+    };
+
+    // Resolve every churned replica to its current row once, bucket-grouped
+    // and power-sorted, so each replay round's displacement check walks
+    // only each bucket's analytic-peak band (byte-equivalent to peeking
+    // every churned row — see `SelectionRun::any_displaces`).
+    let challengers = ChallengerSet::new(churned.iter().filter_map(|&replica| row_of(replica)));
+
+    let mut run = SelectionRun::new(roster);
+    let mut replayed = 0usize;
+    for prev in previous.iter().take(k) {
+        // A churned incumbent may have changed row (or left entirely): its
+        // round — and, because its accumulator contribution may differ from
+        // last epoch's, every later round — must be recomputed.
+        if churned.binary_search(&prev.replica()).is_ok() {
+            break;
+        }
+        let Some(incumbent) = row_of(prev.replica()) else {
+            // Departed without appearing in `churned` — only possible with
+            // an under-reported churn set; recompute from here.
+            break;
+        };
+        debug_assert_eq!(
+            incumbent.power(),
+            prev.power(),
+            "an unchurned member's power must be unchanged"
+        );
+        if incumbent.power().is_zero() {
+            break;
+        }
+        let incumbent_gain = run.peek(incumbent.config(), incumbent.power().as_units());
+        // Every untouched candidate evaluates to the bit-identical gain it
+        // did last epoch (same bucket-keyed committee state, same row), so
+        // the incumbent still beats all of them; only churned rows can
+        // displace it.
+        if run.any_displaces(&challengers, &incumbent, incumbent_gain) {
+            // A churned row wins — or ties within the fold window — so run
+            // this round with the full engine. If the incumbent still wins
+            // the exact fold, the verified prefix is unchanged (same
+            // member, same untouched row) and replay resumes next round;
+            // a different winner ends the bit-identity argument for the
+            // rest of the previous committee.
+            if !run.round() || run.last_member().map(Candidate::replica) != Some(prev.replica()) {
+                break;
+            }
+            continue;
+        }
+        run.accept(incumbent);
+        replayed += 1;
+    }
+
+    run.run_to(k);
+    let repaired = run.len() - replayed;
+    (
+        run.into_committee(),
+        WarmReport {
+            replayed,
+            repaired,
+            fell_back: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_diverse;
+    use fi_types::VotingPower;
+
+    fn pool(n: u64) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(1 + (i * 37) % 499),
+                    (i % 11) as usize,
+                    i % 4 != 0,
+                )
+            })
+            .collect()
+    }
+
+    fn sorted_roster(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+        candidates.sort_unstable_by_key(Candidate::replica);
+        candidates
+    }
+
+    #[test]
+    fn zero_churn_replays_the_whole_committee() {
+        let candidates = sorted_roster(pool(80));
+        let roster = PrunedRoster::build(&candidates);
+        let previous = greedy_diverse(&candidates, 16);
+        let (warm, report) = warm_greedy(&roster, &candidates, previous.members(), &[], 16);
+        assert_eq!(warm.members(), previous.members());
+        assert_eq!(report.replayed, 16);
+        assert_eq!(report.repaired, 0);
+        assert!(!report.fell_back);
+    }
+
+    #[test]
+    fn small_churn_repairs_only_affected_rounds() {
+        let mut candidates = pool(80);
+        let previous = greedy_diverse(&sorted_roster(candidates.clone()), 16);
+        // Churn: remove one selected member, re-power one other device.
+        let victim = previous.members()[5].replica();
+        candidates.retain(|c| c.replica() != victim);
+        let repowered = ReplicaId::new(79);
+        for c in &mut candidates {
+            if c.replica() == repowered {
+                *c = Candidate::new(repowered, VotingPower::new(450), c.config(), c.attested());
+            }
+        }
+        let candidates = sorted_roster(candidates);
+        let mut churned = vec![victim, repowered];
+        churned.sort_unstable();
+        let roster = PrunedRoster::build(&candidates);
+        let (warm, report) = warm_greedy(&roster, &candidates, previous.members(), &churned, 16);
+        assert_eq!(warm.members(), greedy_diverse(&candidates, 16).members());
+        assert!(!report.fell_back);
+        assert!(
+            report.replayed >= 5 && report.replayed + report.repaired == 16,
+            "expected a verified prefix then repair: {report:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_churn_falls_back_to_cold_selection() {
+        let candidates = sorted_roster(pool(40));
+        let roster = PrunedRoster::build(&candidates);
+        let previous = greedy_diverse(&candidates, 8);
+        // 10 of 40 replicas churned (untouched rows are a legal, if
+        // pessimistic, churn report) → over the 1/8 threshold.
+        let churned: Vec<ReplicaId> = (0..10u64).map(ReplicaId::new).collect();
+        let (warm, report) = warm_greedy(&roster, &candidates, previous.members(), &churned, 8);
+        assert!(report.fell_back);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(warm.members(), greedy_diverse(&candidates, 8).members());
+    }
+
+    #[test]
+    fn growing_k_extends_past_the_previous_committee() {
+        let candidates = sorted_roster(pool(60));
+        let roster = PrunedRoster::build(&candidates);
+        let previous = greedy_diverse(&candidates, 6);
+        let (warm, report) = warm_greedy(&roster, &candidates, previous.members(), &[], 12);
+        assert_eq!(warm.members(), greedy_diverse(&candidates, 12).members());
+        assert_eq!(report.replayed, 6);
+        assert_eq!(report.repaired, 6);
+    }
+
+    #[test]
+    fn shrinking_k_uses_the_prefix() {
+        // Greedy selection is prefix-stable, so a longer previous committee
+        // warm-starts a shorter one exactly.
+        let candidates = sorted_roster(pool(60));
+        let roster = PrunedRoster::build(&candidates);
+        let previous = greedy_diverse(&candidates, 12);
+        let (warm, report) = warm_greedy(&roster, &candidates, previous.members(), &[], 5);
+        assert_eq!(warm.members(), greedy_diverse(&candidates, 5).members());
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.repaired, 0);
+    }
+
+    #[test]
+    fn empty_previous_committee_is_a_pure_repair() {
+        let candidates = sorted_roster(pool(30));
+        let roster = PrunedRoster::build(&candidates);
+        let (warm, report) = warm_greedy(&roster, &candidates, &[], &[], 7);
+        assert_eq!(warm.members(), greedy_diverse(&candidates, 7).members());
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.repaired, 7);
+        assert!(!report.fell_back);
+    }
+
+    #[test]
+    fn arrival_that_displaces_a_member_diverges_correctly() {
+        let mut candidates = pool(50);
+        let previous = greedy_diverse(&sorted_roster(candidates.clone()), 10);
+        // A heavyweight arrival on a rare configuration should enter the
+        // committee early, displacing the tail.
+        let arrival = Candidate::new(ReplicaId::new(999), VotingPower::new(498), 10, true);
+        candidates.push(arrival);
+        let candidates = sorted_roster(candidates);
+        let roster = PrunedRoster::build(&candidates);
+        let (warm, report) = warm_greedy(
+            &roster,
+            &candidates,
+            previous.members(),
+            &[ReplicaId::new(999)],
+            10,
+        );
+        let cold = greedy_diverse(&candidates, 10);
+        assert_eq!(warm.members(), cold.members());
+        assert!(
+            cold.members()
+                .iter()
+                .any(|c| c.replica() == ReplicaId::new(999)),
+            "the arrival must actually join the committee for this test to bite"
+        );
+        assert!(report.repaired > 0, "{report:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Differential suite for the serving-grade selection engines: random
+//! churn chains where, at **every** intermediate step, the incrementally
+//! maintained [`PrunedRoster`] + warm-start replay must select the
+//! byte-identical member sequence to the naive O(n·k·(k+m)) oracle over
+//! the merged pool — through evictions of sitting members, tie-heavy power
+//! distributions, and the high-churn fallback boundary.
+
+use fi_committee::greedy::greedy_diverse_naive;
+use fi_committee::prelude::*;
+use fi_types::{ReplicaId, VotingPower};
+use proptest::prelude::*;
+
+/// One churn step against the current pool.
+#[derive(Debug, Clone)]
+enum Churn {
+    /// Register (or re-register with a new row) device `id`.
+    Upsert { id: u64, power: u64, config: usize },
+    /// Deregister device `id` (a no-op if absent — still counted churned,
+    /// which a warm start must tolerate).
+    Remove { id: u64 },
+}
+
+fn churn_step(ids: u64, max_power: u64, configs: usize) -> impl Strategy<Value = Churn> {
+    // The vendored `prop_oneof!` is an unweighted union; listing the upsert
+    // arm three times biases chains toward growth (3:1 upsert:remove) so
+    // pools stay populated.
+    let upsert = || {
+        (0..ids, 1..=max_power, 0..configs).prop_map(|(id, power, config)| Churn::Upsert {
+            id,
+            power,
+            config,
+        })
+    };
+    prop_oneof![
+        upsert(),
+        upsert(),
+        upsert(),
+        (0..ids).prop_map(|id| Churn::Remove { id }),
+    ]
+}
+
+/// A chain: an initial pool followed by epochs of churn batches.
+fn chain(
+    ids: u64,
+    max_power: u64,
+    configs: usize,
+) -> impl Strategy<Value = (Vec<Churn>, Vec<Vec<Churn>>)> {
+    (
+        proptest::collection::vec(churn_step(ids, max_power, configs), 5..40),
+        proptest::collection::vec(
+            proptest::collection::vec(churn_step(ids, max_power, configs), 1..8),
+            1..6,
+        ),
+    )
+}
+
+/// Applies one batch to the pool (sorted by replica id), returning the
+/// sorted churned-replica set.
+fn apply(pool: &mut Vec<Candidate>, batch: &[Churn]) -> Vec<ReplicaId> {
+    let mut churned: Vec<ReplicaId> = Vec::new();
+    for step in batch {
+        let (id, row) = match *step {
+            Churn::Upsert { id, power, config } => (
+                id,
+                Some(Candidate::new(
+                    ReplicaId::new(id),
+                    VotingPower::new(power),
+                    config,
+                    id % 3 != 0,
+                )),
+            ),
+            Churn::Remove { id } => (id, None),
+        };
+        let replica = ReplicaId::new(id);
+        match (pool.binary_search_by_key(&replica, Candidate::replica), row) {
+            (Ok(pos), Some(c)) => pool[pos] = c,
+            (Ok(pos), None) => {
+                pool.remove(pos);
+            }
+            (Err(pos), Some(c)) => pool.insert(pos, c),
+            (Err(_), None) => {}
+        }
+        if let Err(pos) = churned.binary_search(&replica) {
+            churned.insert(pos, replica);
+        }
+    }
+    churned
+}
+
+/// Re-derives the roster patch the fleet layer performs: remove every
+/// churned replica's old row, insert its new one.
+fn patch_roster(
+    roster: &mut PrunedRoster,
+    old_pool: &[Candidate],
+    new_pool: &[Candidate],
+    churned: &[ReplicaId],
+) {
+    for &replica in churned {
+        if let Ok(pos) = old_pool.binary_search_by_key(&replica, Candidate::replica) {
+            roster.remove(&old_pool[pos]);
+        }
+    }
+    for &replica in churned {
+        if let Ok(pos) = new_pool.binary_search_by_key(&replica, Candidate::replica) {
+            roster.insert(&new_pool[pos]);
+        }
+    }
+}
+
+/// Drives one chain: at every epoch the patched roster's warm-start (and
+/// cold pruned) selection must equal the naive oracle over the merged
+/// pool, for every probed k.
+fn run_chain(initial: &[Churn], epochs: &[Vec<Churn>], ks: &[usize]) -> Result<(), TestCaseError> {
+    let mut pool: Vec<Candidate> = Vec::new();
+    apply(&mut pool, initial);
+    let mut roster = PrunedRoster::build(&pool);
+    let mut previous: Vec<Committee> = ks.iter().map(|&k| roster.select(k)).collect();
+    for (ki, &k) in ks.iter().enumerate() {
+        prop_assert_eq!(
+            previous[ki].members(),
+            greedy_diverse_naive(&pool, k).members(),
+            "cold pruned selection diverged at the initial pool, k = {}",
+            k
+        );
+    }
+
+    for (e, batch) in epochs.iter().enumerate() {
+        let old_pool = pool.clone();
+        let churned = apply(&mut pool, batch);
+        patch_roster(&mut roster, &old_pool, &pool, &churned);
+        for (ki, &k) in ks.iter().enumerate() {
+            let oracle = greedy_diverse_naive(&pool, k);
+            let (warm, report) = warm_greedy(&roster, &pool, previous[ki].members(), &churned, k);
+            prop_assert_eq!(
+                warm.members(),
+                oracle.members(),
+                "warm selection diverged from the naive oracle at epoch {}, k = {} ({:?})",
+                e,
+                k,
+                report
+            );
+            let cold = roster.select(k);
+            prop_assert_eq!(
+                cold.members(),
+                oracle.members(),
+                "patched-roster cold selection diverged at epoch {}, k = {}",
+                e,
+                k
+            );
+            previous[ki] = warm;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Pinned case count: the vendored proptest runner derives every case
+    // seed from the test name, so this suite is reproducible bit-for-bit.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warm_chain_matches_naive_oracle((initial, epochs) in chain(48, 10_000, 9)) {
+        run_chain(&initial, &epochs, &[1, 6, 17])?;
+    }
+
+    #[test]
+    fn warm_chain_matches_on_tie_heavy_pools((initial, epochs) in chain(40, 4, 3)) {
+        // Powers drawn from {1..4} over 3 configs: almost every round is
+        // an exact entropy tie, exercising the `preferred` fold and the
+        // degenerate +0.0 buckets rather than the analytic peak.
+        run_chain(&initial, &epochs, &[2, 9])?;
+    }
+
+    #[test]
+    fn warm_chain_matches_across_the_fallback_boundary(
+        (initial, epochs) in chain(16, 500, 4)
+    ) {
+        // Tiny pools: most batches churn more than 1/8 of the roster, so
+        // chains cross the warm→cold fallback threshold in both
+        // directions.
+        run_chain(&initial, &epochs, &[3, 8])?;
+    }
+}
+
+#[test]
+fn eviction_of_every_sitting_member_is_repaired() {
+    // Deterministic worst case: churn away the *entire* previous
+    // committee. Warm start must diverge at round 0 and the repair must
+    // still match the oracle.
+    let mut pool: Vec<Candidate> = (0..30u64)
+        .map(|i| {
+            Candidate::new(
+                ReplicaId::new(i),
+                VotingPower::new(1 + (i * 97) % 700),
+                (i % 5) as usize,
+                true,
+            )
+        })
+        .collect();
+    let mut roster = PrunedRoster::build(&pool);
+    let previous = roster.select(3);
+    let old_pool = pool.clone();
+    let mut churned: Vec<ReplicaId> = previous.members().iter().map(Candidate::replica).collect();
+    churned.sort_unstable();
+    pool.retain(|c| churned.binary_search(&c.replica()).is_err());
+    patch_roster(&mut roster, &old_pool, &pool, &churned);
+    let (warm, report) = warm_greedy(&roster, &pool, previous.members(), &churned, 3);
+    assert_eq!(warm.members(), greedy_diverse_naive(&pool, 3).members());
+    assert_eq!(report.replayed, 0);
+    assert!(report.repaired == 3 || report.fell_back);
+}

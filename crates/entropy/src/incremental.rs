@@ -214,6 +214,17 @@ impl EntropyAccumulator {
         self.support
     }
 
+    /// The maintained `S = Σ_c w_c · log2 w_c` term. Together with
+    /// [`total_weight`](Self::total_weight) and
+    /// [`support_size`](Self::support_size) this fully determines
+    /// [`entropy_bits`](Self::entropy_bits); selection engines that bracket
+    /// the analytic entropy peak of "add power `p` to one bucket" need the
+    /// raw sum, not just the folded `H`.
+    #[must_use]
+    pub fn weighted_log_sum(&self) -> f64 {
+        self.weighted_log_sum
+    }
+
     /// Adds `w` units of weight to `slot` in O(1).
     ///
     /// # Panics
@@ -625,6 +636,21 @@ mod tests {
         assert!((d.shannon_entropy() - acc.entropy_bits()).abs() < 1e-12);
         assert!(EntropyAccumulator::new(0).to_distribution().is_err());
         assert!(EntropyAccumulator::new(3).to_distribution().is_err());
+    }
+
+    #[test]
+    fn weighted_log_sum_tracks_the_identity() {
+        let weights = [13u64, 0, 8, 21, 1];
+        let acc = EntropyAccumulator::from_weights(&weights);
+        let expected: f64 = weights.iter().map(|&w| xlog2(w)).sum();
+        assert!((acc.weighted_log_sum() - expected).abs() < 1e-9);
+        // H = log2 W − S/W reconstructs bit-for-bit through the shared fold.
+        let h = entropy_of(
+            acc.total_weight(),
+            acc.weighted_log_sum(),
+            acc.support_size(),
+        );
+        assert_eq!(h.to_bits(), acc.entropy_bits().to_bits());
     }
 
     #[test]

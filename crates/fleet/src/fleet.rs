@@ -47,6 +47,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use fi_attest::{AttestedRegistry, ChurnDelta, ChurnOp, RegisteredDevice, TwoTierWeights};
 use fi_types::{Digest, ReplicaId, VotingPower};
 
+use crate::cache::SelectionCache;
 use crate::error::FleetConfigError;
 use crate::publish::{SnapshotCell, SnapshotHandle};
 use crate::snapshot::EpochSnapshot;
@@ -126,6 +127,11 @@ pub struct ShardedFleet {
     /// order.
     publish_state: Mutex<PublishState>,
     publish_cv: Condvar,
+    /// Memoized committee selections keyed by fleet content — repeated
+    /// quorum queries against one published epoch are O(1) `Arc` lookups,
+    /// and epoch advances warm-chain through the differential parent. See
+    /// [`SelectionCache`].
+    selection_cache: SelectionCache,
 }
 
 /// Epoch-ordered publication state.
@@ -247,6 +253,7 @@ impl ShardedFleet {
                 poisoned: false,
             }),
             publish_cv: Condvar::new(),
+            selection_cache: SelectionCache::default(),
         }
     }
 
@@ -559,6 +566,23 @@ impl ShardedFleet {
     #[must_use]
     pub fn published_epoch(&self) -> u64 {
         self.current.stamp()
+    }
+
+    /// The greedy committee of size `k` over the currently served
+    /// snapshot, memoized in the fleet's [`SelectionCache`]: repeated
+    /// queries against one published epoch are O(1) `Arc` lookups, and an
+    /// epoch advance warm-chains from the previous epoch's cached
+    /// committee instead of selecting cold. Byte-identical member sequence
+    /// to `self.snapshot().select_greedy(k)`.
+    #[must_use]
+    pub fn select_greedy_cached(&self, k: usize) -> Arc<fi_committee::Committee> {
+        self.selection_cache.select_greedy(&self.snapshot(), k)
+    }
+
+    /// The fleet's selection memo (stats, explicit invalidation).
+    #[must_use]
+    pub fn selection_cache(&self) -> &SelectionCache {
+        &self.selection_cache
     }
 }
 

@@ -68,12 +68,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod fleet;
 pub mod publish;
 pub mod snapshot;
 pub mod trace;
 
+pub use cache::{CacheStats, SelectionCache, SelectionPolicy};
 pub use error::FleetConfigError;
 pub use fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
 pub use publish::{SnapshotCell, SnapshotHandle};
@@ -86,6 +88,7 @@ pub use fi_attest::{ChurnDelta, ChurnOp};
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, SelectionCache, SelectionPolicy};
     pub use crate::error::FleetConfigError;
     pub use crate::fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
     pub use crate::publish::{SnapshotCell, SnapshotHandle};

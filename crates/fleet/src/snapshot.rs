@@ -34,10 +34,12 @@
 use std::collections::BTreeMap;
 
 use fi_attest::{AttestedRegistry, ChurnDelta, RegisteredDevice, TwoTierWeights};
-use fi_committee::{greedy_diverse, two_tier_weighted, Candidate, Committee};
+use fi_committee::{
+    two_tier_weighted, warm_greedy, Candidate, Committee, PrunedRoster, WarmReport,
+};
 use fi_entropy::{Distribution, DistributionError, EntropyAccumulator};
 use fi_types::hash::{SetDigest, Sha256};
-use fi_types::{Digest, VotingPower};
+use fi_types::{Digest, ReplicaId, VotingPower};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +92,19 @@ pub struct EpochSnapshot {
     candidates: Vec<Candidate>,
     /// Canonical accumulator over `buckets`, in bucket order.
     acc: EntropyAccumulator,
+    /// The pruned selection index over `candidates` — dense slots, one per
+    /// bucket plus the trailing unattested pseudo-slot — maintained
+    /// differentially by [`apply_delta`](Self::apply_delta) so serving a
+    /// committee never re-sorts the fleet.
+    pruned: PrunedRoster,
+    /// The previous snapshot's content hash when this one was produced by
+    /// [`apply_delta`](Self::apply_delta); `None` for full builds. This is
+    /// the warm-start chaining key: a committee selected on the parent
+    /// content can seed [`select_greedy_warm`](Self::select_greedy_warm).
+    parent_hash: Option<Digest>,
+    /// The sorted replica ids touched by the delta that produced this
+    /// snapshot (empty for full builds).
+    churned: Vec<ReplicaId>,
     /// Order-independent aggregate of per-bucket row digests — the
     /// incrementally maintainable half of the content hash.
     bucket_agg: SetDigest,
@@ -164,6 +179,7 @@ impl EpochSnapshot {
             bucket_members.iter().all(|&c| c > 0),
             "every live bucket has at least one registered member"
         );
+        let pruned = PrunedRoster::from_dense(opaque_slot + 1, &candidates);
 
         let mut bucket_agg = SetDigest::EMPTY;
         for &(m, p) in &buckets {
@@ -184,6 +200,9 @@ impl EpochSnapshot {
             devices,
             candidates,
             acc,
+            pruned,
+            parent_hash: None,
+            churned: Vec::new(),
             bucket_agg,
             device_agg,
             content_hash,
@@ -374,6 +393,13 @@ impl EpochSnapshot {
         // 3. Patch roster and candidates (merge walk old × touched):
         //    unchanged candidates only remap their config through
         //    `slot_map`; touched devices binary-search the patched buckets.
+        //    The pruned selection index rides along in O(churn): departed
+        //    rows are removed here while it still has the *old* slot
+        //    layout; arrivals (which carry new slot positions) are staged
+        //    and inserted after the slot splice below.
+        let mut pruned = self.pruned.clone();
+        let mut arrivals: Vec<Candidate> = Vec::with_capacity(roster.len());
+        let mut churned: Vec<ReplicaId> = Vec::with_capacity(roster.len());
         let opaque_slot = buckets.len();
         let patched_candidate = |d: &RegisteredDevice| match d.measurement {
             Some(m) => Candidate::new(
@@ -410,20 +436,38 @@ impl EpochSnapshot {
                 di += 1;
             } else {
                 let (replica, state) = roster[rj];
+                churned.push(replica);
                 if let Some(d) = state {
                     devices.push(d);
-                    candidates.push(patched_candidate(&d));
+                    let c = patched_candidate(&d);
+                    candidates.push(c);
+                    arrivals.push(c);
                     device_agg.insert(&device_row_digest(&d));
                 }
                 // A `None` state for an absent device is a tolerated no-op
                 // (a deregister of a never-registered replica).
                 if di < self.devices.len() && self.devices[di].replica == replica {
                     device_agg.remove(&device_row_digest(&self.devices[di]));
+                    pruned.remove(&self.candidates[di]);
                     di += 1;
                 }
                 rj += 1;
             }
         }
+
+        // Splice the pruned index's slot layout exactly like the
+        // accumulator's (same removal/insertion positions), then land the
+        // staged arrivals at their new-layout configurations.
+        let insertion_slots: Vec<usize> = insertions.iter().map(|&(slot, _)| slot).collect();
+        pruned.splice_dense_slots(&removals, &insertion_slots);
+        for c in &arrivals {
+            pruned.insert(c);
+        }
+        debug_assert_eq!(
+            pruned,
+            PrunedRoster::from_dense(buckets.len() + 1, &candidates),
+            "differentially patched selection index diverged from a rebuild"
+        );
 
         // 4. Opaque power (integer-exact) and the content hash finalised
         //    over the patched row aggregates — byte-identical to a full
@@ -440,6 +484,9 @@ impl EpochSnapshot {
             devices,
             candidates,
             acc,
+            pruned,
+            parent_hash: Some(self.content_hash),
+            churned,
             bucket_agg,
             device_agg,
             content_hash,
@@ -554,12 +601,55 @@ impl EpochSnapshot {
         Distribution::from_counts(&units)
     }
 
-    /// Greedy entropy-maximising selection over the prebuilt roster
-    /// (identical member sequence to [`greedy_diverse`] on the same
-    /// candidates). Lock-free: touches only this snapshot.
+    /// Greedy entropy-maximising selection over the prebuilt pruned index
+    /// (byte-identical member sequence to
+    /// [`greedy_diverse`](fi_committee::greedy_diverse) on the same
+    /// candidates, without re-sorting the roster per call). Lock-free:
+    /// touches only this snapshot.
     #[must_use]
     pub fn select_greedy(&self, k: usize) -> Committee {
-        greedy_diverse(&self.candidates, k)
+        self.pruned.select(k)
+    }
+
+    /// Warm-started greedy selection: replays `previous` — the committee
+    /// selected for the same `k` on this snapshot's *parent* content (see
+    /// [`parent_hash`](Self::parent_hash)) — against the churned rows only,
+    /// repairing from the first divergent round. Byte-identical to
+    /// [`select_greedy`](Self::select_greedy); steady-state cost is
+    /// O(k · churn) instead of O(k · buckets · log n).
+    ///
+    /// Callers are responsible for the chaining check: if `previous` was
+    /// not selected on the content identified by
+    /// [`parent_hash`](Self::parent_hash), the churn set does not describe
+    /// the difference and the result is unspecified (though still a valid
+    /// committee). [`SelectionCache`](crate::SelectionCache) performs this
+    /// check per lookup.
+    #[must_use]
+    pub fn select_greedy_warm(&self, k: usize, previous: &[Candidate]) -> (Committee, WarmReport) {
+        warm_greedy(&self.pruned, &self.candidates, previous, &self.churned, k)
+    }
+
+    /// The content hash of the snapshot this one was differentially patched
+    /// from (`None` for full builds / re-anchor epochs). Committees keyed
+    /// by this hash can warm-start
+    /// [`select_greedy_warm`](Self::select_greedy_warm).
+    #[must_use]
+    pub fn parent_hash(&self) -> Option<Digest> {
+        self.parent_hash
+    }
+
+    /// The sorted replica ids whose roster rows changed relative to the
+    /// parent snapshot (empty for full builds).
+    #[must_use]
+    pub fn churned_replicas(&self) -> &[ReplicaId] {
+        &self.churned
+    }
+
+    /// The differentially maintained pruned selection index (bench and
+    /// diagnostic access).
+    #[must_use]
+    pub fn pruned_roster(&self) -> &PrunedRoster {
+        &self.pruned
     }
 
     /// Two-tier attested-weighted sortition over the prebuilt roster
@@ -580,7 +670,8 @@ impl EpochSnapshot {
 mod tests {
     use super::*;
     use fi_attest::ChurnOp;
-    use fi_types::{sha256, ReplicaId};
+    use fi_committee::greedy_diverse;
+    use fi_types::sha256;
     use rand::SeedableRng;
 
     fn registry_with(ops: &[ChurnOp]) -> AttestedRegistry {

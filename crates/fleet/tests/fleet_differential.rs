@@ -25,7 +25,8 @@
 //! per intermediate epoch.
 
 use fi_attest::{AttestedRegistry, ChurnOp, TwoTierWeights};
-use fi_fleet::{EpochSnapshot, ShardedFleet};
+use fi_committee::greedy::greedy_diverse_naive;
+use fi_fleet::{EpochSnapshot, SelectionCache, ShardedFleet};
 use fi_types::{sha256, ReplicaId, VotingPower};
 use proptest::prelude::*;
 
@@ -300,6 +301,72 @@ proptest! {
             fleet.ingest_batch(&ops);
             let committee = fleet.seal_epoch().select_greedy(k);
             prop_assert_eq!(committee.members(), oracle_committee.members());
+        }
+    }
+
+    /// The serving tentpole, end to end: at **every** intermediate epoch
+    /// and every shard count, the pruned cold selection, the warm-started
+    /// selection (seeded by the previous epoch's committee and the sealed
+    /// churn set), and the memoized [`SelectionCache`] all produce the
+    /// member sequence of the naive `greedy_diverse_naive` oracle over the
+    /// merged roster, byte for byte — through member evictions, re-anchor
+    /// epochs (every 3rd here, which break the warm chain: `parent_hash`
+    /// is `None`), and churn batches heavy enough to cross the warm-start
+    /// fallback threshold on this small device space.
+    #[test]
+    fn warm_and_cached_selections_match_naive_oracle_at_every_epoch(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        batch in 1usize..25,
+        k in 1usize..12,
+    ) {
+        let fleets: Vec<ShardedFleet> = SHARD_COUNTS
+            .iter()
+            .map(|&s| ShardedFleet::with_reanchor_interval(s, weights(), 3))
+            .collect();
+        let caches: Vec<SelectionCache> =
+            SHARD_COUNTS.iter().map(|_| SelectionCache::default()).collect();
+        // Per fleet: the previous epoch's committee and the content it was
+        // selected on (the warm-start chaining contract).
+        let mut previous: Vec<Option<(fi_types::Digest, fi_committee::Committee)>> =
+            SHARD_COUNTS.iter().map(|_| None).collect();
+        let mut oracle = AttestedRegistry::new(weights());
+        for chunk in ops.chunks(batch) {
+            oracle.apply_batch(chunk);
+            let oracle_snap = EpochSnapshot::from_registry(&oracle, 0);
+            let expected = greedy_diverse_naive(oracle_snap.candidates(), k);
+            for (i, (fleet, cache)) in fleets.iter().zip(&caches).enumerate() {
+                fleet.ingest_batch(chunk);
+                let snap = fleet.seal_epoch();
+                prop_assert_eq!(
+                    snap.select_greedy(k).members(),
+                    expected.members(),
+                    "cold pruned selection diverged from the naive oracle at epoch {}, {} shards",
+                    snap.epoch(),
+                    SHARD_COUNTS[i]
+                );
+                if let Some((hash, prev)) = &previous[i] {
+                    if snap.parent_hash() == Some(*hash) {
+                        let (warm, report) = snap.select_greedy_warm(k, prev.members());
+                        prop_assert_eq!(
+                            warm.members(),
+                            expected.members(),
+                            "warm selection diverged at epoch {}, {} shards ({:?})",
+                            snap.epoch(),
+                            SHARD_COUNTS[i],
+                            report
+                        );
+                    }
+                }
+                let cached = cache.select_greedy(&snap, k);
+                prop_assert_eq!(
+                    cached.members(),
+                    expected.members(),
+                    "cached selection diverged at epoch {}, {} shards",
+                    snap.epoch(),
+                    SHARD_COUNTS[i]
+                );
+                previous[i] = Some((snap.content_hash(), (*cached).clone()));
+            }
         }
     }
 }

@@ -20,6 +20,11 @@
 //! * **Epoch monotonicity.** No reader ever observes the published epoch
 //!   decreasing, through either the cell or a cached handle, while
 //!   sealers race.
+//! * **Selection-cache parity.** Readers also route selections through the
+//!   fleet's shared [`SelectionCache`](fi_fleet::SelectionCache) — hits,
+//!   warm-chained misses, and evictions all racing the sealers — and every
+//!   memoized committee must be byte-identical to the ledger's committed
+//!   cold selection for that snapshot's epoch.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -142,8 +147,24 @@ fn run_stress(shards: usize, sealers: usize, readers: usize, seals_per_sealer: u
                         seen.push(Observation {
                             epoch,
                             hash: snap.content_hash(),
-                            members: (i.is_multiple_of(32))
-                                .then(|| snap.select_greedy(SELECT_K).members().to_vec()),
+                            members: if i.is_multiple_of(32) {
+                                Some(snap.select_greedy(SELECT_K).members().to_vec())
+                            } else if i.is_multiple_of(8) {
+                                // The memoized path, racing sealers whose
+                                // newer epochs concurrently insert (and
+                                // evict) entries: whatever the cache state,
+                                // the answer must be byte-identical to this
+                                // snapshot's cold selection.
+                                Some(
+                                    fleet
+                                        .selection_cache()
+                                        .select_greedy(&snap, SELECT_K)
+                                        .members()
+                                        .to_vec(),
+                                )
+                            } else {
+                                None
+                            },
                         });
                         i += 1;
                     }
@@ -200,6 +221,15 @@ fn run_stress(shards: usize, sealers: usize, readers: usize, seals_per_sealer: u
     assert!(
         checked >= readers * 64,
         "stress run produced implausibly few observations: {checked}"
+    );
+
+    // The memoized path actually served repeated queries from cache while
+    // racing the sealers (readers share one fleet-level cache, and each
+    // issues many queries per epoch).
+    let stats = fleet.selection_cache().stats();
+    assert!(
+        stats.hits > 0 && stats.misses > 0,
+        "cache saw no traffic under stress: {stats:?}"
     );
 }
 
