@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod codec;
 pub mod commitment;
 pub mod delta;
 pub mod device;

@@ -60,7 +60,9 @@ use fi_attest::{AttestedRegistry, ChurnOp, RegisteredDevice, TwoTierWeights};
 use fi_bench::repo_root;
 use fi_committee::greedy::greedy_diverse_naive;
 use fi_committee::{greedy_diverse, Candidate, PrunedRoster};
-use fi_fleet::{churn_trace, ChurnTraceConfig, EpochSnapshot, ShardedFleet};
+use fi_fleet::{
+    churn_trace, Checkpoint, ChurnTraceConfig, DurabilityConfig, EpochSnapshot, ShardedFleet,
+};
 use fi_types::Digest;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -73,6 +75,11 @@ const INGEST_BATCH: usize = 4096;
 /// read path shard-count-independent, so the honest ratio is ~1.0; the
 /// headroom absorbs timer jitter, not contention.
 const READ_COST_TOLERANCE: f64 = 1.5;
+/// How much slower write-ahead-logged ingest may be than the in-memory
+/// baseline before the harness fails. Batches are framed and buffered (no
+/// per-batch fsync — the epoch cut is the durability point), so the
+/// honest overhead is the encode + buffered write, well under 2x.
+const LOG_APPEND_OVERHEAD_TOLERANCE: f64 = 2.0;
 
 fn weights() -> TwoTierWeights {
     TwoTierWeights::default()
@@ -145,6 +152,24 @@ struct SelectionRow {
     oracle_match: bool,
 }
 
+/// The durability round trip: like-for-like ingest with and without the
+/// write-ahead churn log, the checkpoint write, and a timed, hash-verified
+/// crash recovery.
+struct DurabilityStats {
+    shards: usize,
+    plain_ingest_ops_per_sec: f64,
+    wal_ingest_ops_per_sec: f64,
+    /// Plain rate over WAL rate — the log-append ingest overhead the
+    /// harness gates at [`LOG_APPEND_OVERHEAD_TOLERANCE`].
+    log_append_overhead: f64,
+    checkpoint_write_ms: f64,
+    recovery_ms: f64,
+    replayed_epochs: u64,
+    /// The recovered fleet's served snapshot hashed identical to the
+    /// pre-"crash" sealed snapshot — the recovery correctness gate.
+    recovered_hash_matches: bool,
+}
+
 /// The correctness gates the binary exits non-zero on.
 struct Gates {
     hash_invariant: bool,
@@ -164,6 +189,12 @@ struct Gates {
     /// over the full roster, and the pruned index matched
     /// `greedy_diverse_naive` on a sub-roster spot check.
     selection_oracle_match: bool,
+    /// Crash recovery served a snapshot byte-identical to the one sealed
+    /// before the durability directory was reopened.
+    durable_recovery_hash_match: bool,
+    /// Write-ahead-logged ingest stayed within
+    /// [`LOG_APPEND_OVERHEAD_TOLERANCE`]× of the in-memory baseline.
+    durable_overhead_ok: bool,
 }
 
 /// Wall-clock parallel ingest of the whole trace.
@@ -466,6 +497,81 @@ fn measure_serving(
     }
 }
 
+/// The durability round trip (see [`DurabilityStats`]): both fleets seal
+/// every 8 ingest batches so the WAL accumulates real epoch cuts for the
+/// recovery replay, but only the `ingest_batch` calls are timed — the
+/// overhead reported is the per-batch framing + buffered log write, which
+/// is exactly what the write path added.
+fn measure_durability(trace: &[ChurnOp], shards: usize) -> DurabilityStats {
+    const SEAL_EVERY: usize = 8;
+    let dir = std::env::temp_dir().join(format!("fi-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ingest_rate = |fleet: &ShardedFleet| -> f64 {
+        let mut ingest_secs = 0.0f64;
+        for (i, batch) in trace.chunks(INGEST_BATCH).enumerate() {
+            let t = Instant::now();
+            fleet.ingest_batch(batch);
+            ingest_secs += t.elapsed().as_secs_f64();
+            if i % SEAL_EVERY == SEAL_EVERY - 1 {
+                let _ = fleet.seal_epoch();
+            }
+        }
+        trace.len() as f64 / ingest_secs
+    };
+
+    // Both rates are best-of-2 over fresh fleets: the overhead gate is a
+    // ratio of two wall-clock timings with fsyncs in the loop, and a
+    // single run is at the mercy of transient writeback/scheduler noise.
+    let plain_rate = (0..2)
+        .map(|_| ingest_rate(&ShardedFleet::new(shards, weights())))
+        .fold(0.0f64, f64::max);
+
+    // Checkpointing disabled during the timed run so the recovery below
+    // replays the whole log — the worst-case (no-checkpoint) restart.
+    let config = DurabilityConfig::new(&dir).with_checkpoint_interval(0);
+    let mut wal_rate = {
+        let (durable, _) = ShardedFleet::open_durable(shards, weights(), 1, config.clone())
+            .expect("fresh durability dir");
+        ingest_rate(&durable)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) = ShardedFleet::open_durable(shards, weights(), 1, config.clone())
+        .expect("fresh durability dir");
+    wal_rate = wal_rate.max(ingest_rate(&durable));
+    let sealed = durable.seal_epoch();
+
+    let t = Instant::now();
+    Checkpoint::from_snapshot(&sealed)
+        .write(&dir)
+        .expect("checkpoint write");
+    let checkpoint_write_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    // Recovery must not take the shortcut through the checkpoint just
+    // written: measure the full log replay.
+    std::fs::remove_file(dir.join(format!("ckpt-{:016}.fic", sealed.epoch())))
+        .expect("remove probe checkpoint");
+    drop(durable);
+
+    let t = Instant::now();
+    let (recovered, report) = ShardedFleet::open_durable(shards, weights(), 1, config)
+        .expect("recovery from the benchmark log");
+    let recovery_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let recovered_hash_matches = recovered.snapshot().content_hash() == sealed.content_hash()
+        && report.recovered_epoch == sealed.epoch();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    DurabilityStats {
+        shards,
+        plain_ingest_ops_per_sec: plain_rate,
+        wal_ingest_ops_per_sec: wal_rate,
+        log_append_overhead: plain_rate / wal_rate,
+        checkpoint_write_ms,
+        recovery_ms,
+        replayed_epochs: report.replayed_epochs,
+        recovered_hash_matches,
+    }
+}
+
 /// Everything the harness measured, bundled for rendering.
 struct Sections<'a> {
     ingest: &'a [IngestRow],
@@ -474,6 +580,7 @@ struct Sections<'a> {
     seal: &'a [SealRow],
     selection: &'a [SelectionRow],
     serving: &'a ServingStats,
+    durability: &'a DurabilityStats,
     snapshot: &'a EpochSnapshot,
     gates: &'a Gates,
 }
@@ -494,6 +601,7 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
         seal,
         selection,
         serving,
+        durability,
         snapshot,
         gates,
     } = *sections;
@@ -643,6 +751,44 @@ fn render_fleet_json(mode: &str, cfg: &ChurnTraceConfig, sections: &Sections<'_>
         out,
         "      \"handle_read_ns\": {:.1}",
         serving.handle_read_ns
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"durability\": {{");
+    let _ = writeln!(out, "      \"shards\": {},", durability.shards);
+    let _ = writeln!(
+        out,
+        "      \"plain_ingest_ops_per_sec\": {:.0},",
+        durability.plain_ingest_ops_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"wal_ingest_ops_per_sec\": {:.0},",
+        durability.wal_ingest_ops_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "      \"log_append_overhead\": {:.2},",
+        durability.log_append_overhead
+    );
+    let _ = writeln!(
+        out,
+        "      \"log_append_overhead_tolerance\": {LOG_APPEND_OVERHEAD_TOLERANCE},"
+    );
+    let _ = writeln!(
+        out,
+        "      \"checkpoint_write_ms\": {:.3},",
+        durability.checkpoint_write_ms
+    );
+    let _ = writeln!(out, "      \"recovery_ms\": {:.3},", durability.recovery_ms);
+    let _ = writeln!(
+        out,
+        "      \"replayed_epochs\": {},",
+        durability.replayed_epochs
+    );
+    let _ = writeln!(
+        out,
+        "      \"recovered_hash_matches\": {}",
+        durability.recovered_hash_matches
     );
     let _ = writeln!(out, "    }},");
     let _ = writeln!(out, "    \"snapshot\": {{");
@@ -879,6 +1025,24 @@ fn main() -> ExitCode {
     selection_oracle_match &= final_fleet.select_greedy_cached(k).members()
         == greedy_diverse(snapshot.candidates(), k).members();
 
+    println!("== durability: WAL ingest overhead, checkpoint, recovery ==");
+    let durability = measure_durability(&trace, *shard_counts.last().expect("non-empty sweep"));
+    println!(
+        "  shards={}: plain {:>12.0} ops/s | WAL {:>12.0} ops/s ({:.2}x overhead) | checkpoint {:.1} ms | recovery {:.1} ms ({} epochs){}",
+        durability.shards,
+        durability.plain_ingest_ops_per_sec,
+        durability.wal_ingest_ops_per_sec,
+        durability.log_append_overhead,
+        durability.checkpoint_write_ms,
+        durability.recovery_ms,
+        durability.replayed_epochs,
+        if durability.recovered_hash_matches {
+            ""
+        } else {
+            "  RECOVERY HASH MISMATCH"
+        }
+    );
+
     let gates = Gates {
         hash_invariant,
         oracle_bit_exact,
@@ -886,6 +1050,8 @@ fn main() -> ExitCode {
         wait_free_matches_locked,
         read_cost_flat,
         selection_oracle_match,
+        durable_recovery_hash_match: durability.recovered_hash_matches,
+        durable_overhead_ok: durability.log_append_overhead <= LOG_APPEND_OVERHEAD_TOLERANCE,
     };
     let fleet_json = render_fleet_json(
         mode,
@@ -897,6 +1063,7 @@ fn main() -> ExitCode {
             seal: &seal,
             selection: &selection,
             serving: &serving,
+            durability: &durability,
             snapshot: &snapshot,
             gates: &gates,
         },
@@ -945,6 +1112,18 @@ fn main() -> ExitCode {
         eprintln!(
             "FAIL: a warm-start, cached, or pruned-index selection diverged \
              from the reference greedy oracle"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !gates.durable_recovery_hash_match {
+        eprintln!("FAIL: crash recovery served a snapshot that differs from the pre-crash seal");
+        return ExitCode::FAILURE;
+    }
+    if !gates.durable_overhead_ok {
+        eprintln!(
+            "FAIL: write-ahead-logged ingest is {:.2}x the in-memory baseline \
+             (tolerance {LOG_APPEND_OVERHEAD_TOLERANCE}x)",
+            durability.log_append_overhead
         );
         return ExitCode::FAILURE;
     }

@@ -268,14 +268,21 @@ impl SelectionCache {
             return;
         }
         if stripe.len() >= self.stripe_capacity {
-            let oldest = stripe
+            // Never panic on the eviction path: the cache is an
+            // optimisation, and a read-side memo must not be able to take
+            // the serving process down. If no victim is found (an empty
+            // stripe reported as full can only mean an inconsistent
+            // capacity state), skip eviction and insert anyway — a
+            // temporarily over-full stripe self-corrects on later sweeps.
+            if let Some(oldest) = stripe
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.epoch)
                 .map(|(i, _)| i)
-                .expect("a full stripe is non-empty");
-            stripe.swap_remove(oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            {
+                stripe.swap_remove(oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         stripe.push(CacheEntry {
             hash,
@@ -371,6 +378,55 @@ mod tests {
         assert!(cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_and_never_panics_at_the_bound() {
+        // Regression: the eviction path used to `expect` a victim; the
+        // tightest possible cache (one entry per stripe, every insert at
+        // the bound) must churn through arbitrarily many keys without
+        // panicking and still answer correctly.
+        let snap = sealed_snapshot(100, 250);
+        let cache = SelectionCache::with_capacity(0);
+        assert_eq!(cache.capacity(), STRIPES);
+        for round in 0..3 {
+            for k in 1..=(3 * STRIPES) {
+                assert_eq!(cache.select_greedy(&snap, k).len(), k, "round {round}");
+            }
+        }
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn concurrent_queries_and_invalidation_stay_consistent() {
+        // Readers query while another thread repeatedly invalidates and
+        // clears: every answer must still equal the cold selection, and
+        // nothing may panic (the eviction and probe paths share stripes).
+        let snap = sealed_snapshot(150, 400);
+        let cache = SelectionCache::with_capacity(4);
+        let oracle: Vec<_> = (1..=8).map(|k| snap.select_greedy(k)).collect();
+        std::thread::scope(|scope| {
+            let (cache, snap, oracle) = (&cache, &snap, &oracle);
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let k = 1 + (round % 8);
+                        let got = cache.select_greedy(snap, k);
+                        assert_eq!(got.members(), oracle[k - 1].members());
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for round in 0..100 {
+                    if round % 2 == 0 {
+                        cache.invalidate_before(snap.epoch() + 1);
+                    } else {
+                        cache.clear();
+                    }
+                }
+            });
+        });
+        assert!(cache.len() <= cache.capacity());
     }
 
     #[test]

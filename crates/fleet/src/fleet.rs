@@ -41,16 +41,19 @@
 //! modelled chain-poison fail-fast instead of bricking the fleet.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use fi_attest::{AttestedRegistry, ChurnDelta, ChurnOp, RegisteredDevice, TwoTierWeights};
 use fi_types::{Digest, ReplicaId, VotingPower};
 
 use crate::cache::SelectionCache;
-use crate::error::FleetConfigError;
+use crate::checkpoint::{self, Checkpoint};
+use crate::error::{FleetConfigError, SealError};
 use crate::publish::{SnapshotCell, SnapshotHandle};
 use crate::snapshot::EpochSnapshot;
+use crate::wal::{ChurnLog, WalRecord};
 
 /// The default re-anchor cadence: one full (from-scratch) snapshot rebuild
 /// every this many seals, bounding the differential path's accumulated
@@ -132,6 +135,37 @@ pub struct ShardedFleet {
     /// and epoch advances warm-chain through the differential parent. See
     /// [`SelectionCache`].
     selection_cache: SelectionCache,
+    /// The durability layer, when this fleet was opened with
+    /// [`open_durable`](Self::open_durable): the write-ahead churn log
+    /// every batch tees into, plus the checkpoint cadence. `None` for
+    /// in-memory fleets — every durability hook below is a no-op then.
+    durability: Option<DurabilityState>,
+    /// Set when a seal was rejected ([`SealError::CorruptDelta`]) after
+    /// its delta had already been drained: the published chain no longer
+    /// reflects the drained churn, so the *next* seal must re-anchor with
+    /// a full rebuild from the authoritative shard state regardless of the
+    /// cadence.
+    force_reanchor: AtomicBool,
+}
+
+/// A durable fleet's write-ahead state: the open churn log and the
+/// checkpoint policy (see [`crate::recover::DurabilityConfig`]).
+#[derive(Debug)]
+pub(crate) struct DurabilityState {
+    /// The open write-ahead log. Lock order: batch gate → this mutex
+    /// (both ingest and the sealer acquire the gate first), so the WAL
+    /// lock never participates in a cycle.
+    pub(crate) log: Mutex<ChurnLog>,
+    /// The durability directory (WAL segments + checkpoints).
+    pub(crate) dir: PathBuf,
+    /// Checkpoint every this many sealed epochs; `0` = never. Deliberately
+    /// independent of [`ShardedFleet::reanchor_interval`]: re-anchoring is
+    /// an *in-memory* float-drift bound, checkpointing is a *recovery
+    /// time* bound, and `with_reanchor_interval(_, _, 0)` ("re-anchor
+    /// never") must not silently mean "checkpoint never".
+    pub(crate) checkpoint_interval: u64,
+    /// How many of the newest checkpoints survive pruning.
+    pub(crate) retain_checkpoints: usize,
 }
 
 /// Epoch-ordered publication state.
@@ -254,6 +288,52 @@ impl ShardedFleet {
             }),
             publish_cv: Condvar::new(),
             selection_cache: SelectionCache::default(),
+            durability: None,
+            force_reanchor: AtomicBool::new(false),
+        }
+    }
+
+    /// Attaches an opened durability layer. Crate-private: recovery
+    /// attaches it only *after* the restore + replay finished, so replayed
+    /// batches are not re-logged.
+    pub(crate) fn attach_durability(&mut self, state: DurabilityState) {
+        self.durability = Some(state);
+    }
+
+    /// Whether this fleet tees its churn into a write-ahead log.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Rewinds this (fresh, unshared) fleet onto a checkpointed epoch:
+    /// the shards must already hold the checkpoint's devices (re-ingested
+    /// by recovery); this drains their accumulated deltas, fast-forwards
+    /// the epoch counter, and publishes the verified `snapshot` so the
+    /// next differential seal chains onto it.
+    pub(crate) fn restore_published(&self, snapshot: Arc<EpochSnapshot>) {
+        let epoch = snapshot.epoch();
+        for shard in &self.shards {
+            let _ = lock_recover(shard).take_delta();
+        }
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.current.publish(&snapshot);
+        lock_recover(&self.publish_state).published = epoch;
+    }
+
+    /// Appends one record to the write-ahead log of a durable fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a log I/O failure: the caller already applied (or is
+    /// about to apply) the batch in memory, so continuing would silently
+    /// break the durability contract. An ingest path that outlives its
+    /// log has nothing safe to do.
+    fn wal_append(&self, record: &WalRecord) {
+        if let Some(dur) = &self.durability {
+            lock_recover(&dur.log)
+                .append(record)
+                .expect("write-ahead churn log append failed; durability contract broken");
         }
     }
 
@@ -303,6 +383,13 @@ impl ShardedFleet {
             .batch_gate
             .read()
             .unwrap_or_else(PoisonError::into_inner);
+        // Write-ahead: the batch is framed into the log *before* it lands
+        // on any shard, inside the same gate hold — so the epoch-cut
+        // marker (written gate-exclusive) partitions the log into epochs
+        // exactly as the shards observed them.
+        if !ops.is_empty() {
+            self.wal_append(&WalRecord::Batch(ops.to_vec()));
+        }
         if self.shards.len() == 1 {
             self.shards[0]
                 .lock()
@@ -338,6 +425,9 @@ impl ShardedFleet {
             .batch_gate
             .read()
             .unwrap_or_else(PoisonError::into_inner);
+        if !ops.is_empty() {
+            self.wal_append(&WalRecord::Batch(ops.to_vec()));
+        }
         for op in ops {
             self.shards[self.shard_of(op.replica())]
                 .lock()
@@ -389,6 +479,30 @@ impl ShardedFleet {
     /// sealers (asserted), and each differential sealer patches exactly its
     /// predecessor's published snapshot.
     pub fn seal_epoch(&self) -> Arc<EpochSnapshot> {
+        self.try_seal_epoch().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`seal_epoch`](Self::seal_epoch), but a seal that cannot complete
+    /// comes back as a [`SealError`] instead of a panic.
+    ///
+    /// The failure the fleet is designed to survive is
+    /// [`SealError::CorruptDelta`]: a drained churn delta that does not
+    /// chain onto the published snapshot (a corruption bug, not a usage
+    /// error). The rejected seal then **does not advance the epoch** —
+    /// the epoch counter rolls back, the previous snapshot keeps serving,
+    /// ingest and reads continue untouched — and the next seal re-anchors
+    /// with a full rebuild from the authoritative shard state, restoring
+    /// the chain. (Only if a concurrent sealer already cut the *next*
+    /// epoch on top of the rejected one is the rollback impossible; the
+    /// publish chain is then poisoned exactly as a panicking sealer would
+    /// have left it, and later seals fail fast.)
+    ///
+    /// On a durable fleet, [`SealError::Wal`] before the cut completes
+    /// also rolls the epoch back cleanly; a WAL or checkpoint error
+    /// *after* publication returns `Err` with the snapshot already
+    /// serving (the in-memory fleet is consistent; only durability of
+    /// that epoch is in doubt).
+    pub fn try_seal_epoch(&self) -> Result<Arc<EpochSnapshot>, SealError> {
         // Phase 1 — the cut, under the seal lock: exclude in-flight
         // batches (so a batch whose sub-batches land on different shards
         // is observed either fully or not at all), sweep the shard locks,
@@ -407,23 +521,47 @@ impl ShardedFleet {
         };
         let (epoch, work) = {
             let _seal = lock_recover(&self.seal_lock);
-            let mut guards: Vec<_> = {
-                let _gate = self
-                    .batch_gate
-                    .write()
-                    .unwrap_or_else(PoisonError::into_inner);
-                self.shards
-                    .iter()
-                    .map(|s| {
-                        s.lock()
-                            .expect("no ingest worker panicked holding a shard lock")
-                    })
-                    .collect()
-            };
+            // Held exclusively through the cut-marker write *and* the
+            // drain: ingest appends its batch to the log and applies it to
+            // the shards under one shared hold, so with the gate held
+            // exclusively here the log's batch sequence and the shards'
+            // applied sequence agree exactly — the cut marker partitions
+            // both identically.
+            let _gate = self
+                .batch_gate
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("no ingest worker panicked holding a shard lock")
+                })
+                .collect();
             let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
             chain.armed = true;
+            // Durability point: frame the cut marker after every batch of
+            // this epoch and fsync. On failure nothing has been drained
+            // yet, so the epoch rolls straight back (no other sealer can
+            // have cut — we hold the seal lock) and the fleet is exactly
+            // as before the call.
+            if let Some(dur) = &self.durability {
+                let mut log = lock_recover(&dur.log);
+                let wrote = log
+                    .append(&WalRecord::EpochCut { epoch })
+                    .and_then(|()| log.sync());
+                if let Err(e) = wrote {
+                    self.epoch
+                        .compare_exchange(epoch, epoch - 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .expect("seal lock held: no concurrent epoch cut");
+                    chain.disarm();
+                    return Err(e.into());
+                }
+            }
             let full = epoch == 1
-                || (self.reanchor_interval > 0 && epoch.is_multiple_of(self.reanchor_interval));
+                || (self.reanchor_interval > 0 && epoch.is_multiple_of(self.reanchor_interval))
+                || self.force_reanchor.swap(false, Ordering::Relaxed);
             let work = if full {
                 let per_shard = guards
                     .iter_mut()
@@ -477,14 +615,62 @@ impl ShardedFleet {
                 // The delta was cut on top of epoch-1's content; wait for
                 // that snapshot to exist, then patch it.
                 let prev = self.wait_for_published(epoch - 1);
-                Arc::new(prev.apply_delta(epoch, &delta))
+                match prev.try_apply_delta(epoch, &delta) {
+                    Ok(patched) => Arc::new(patched),
+                    Err(e) => {
+                        // The drained delta is unusable, but the
+                        // authoritative state still lives in the shards:
+                        // flag the next seal to re-anchor with a full
+                        // rebuild, and give the epoch number back if no
+                        // later sealer has already cut on top — the chain
+                        // then has no hole and the fleet keeps serving.
+                        self.force_reanchor.store(true, Ordering::Relaxed);
+                        if self
+                            .epoch
+                            .compare_exchange(
+                                epoch,
+                                epoch - 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            chain.disarm();
+                        }
+                        // On CAS failure a later sealer is already waiting
+                        // on this epoch's publication; dropping the still-
+                        // armed guard poisons the chain so it fails fast
+                        // instead of blocking forever.
+                        return Err(e);
+                    }
+                }
             }
         };
 
         // Phase 3 — publication, re-serialised into epoch order.
         self.publish(epoch, &snapshot);
         chain.disarm();
-        snapshot
+
+        // Post-publish durability: log the content hash the seal served
+        // (the recovery oracle for this epoch), then cut a checkpoint if
+        // one is due. Failures here leave the published fleet consistent;
+        // only this epoch's on-disk record is in doubt, which the caller
+        // learns through the `Err`.
+        if let Some(dur) = &self.durability {
+            {
+                let mut log = lock_recover(&dur.log);
+                log.append(&WalRecord::EpochSeal {
+                    epoch,
+                    content_hash: snapshot.content_hash(),
+                })?;
+                log.sync()?;
+            }
+            if dur.checkpoint_interval > 0 && epoch.is_multiple_of(dur.checkpoint_interval) {
+                Checkpoint::from_snapshot(&snapshot).write(&dur.dir)?;
+                checkpoint::prune(&dur.dir, dur.retain_checkpoints)?;
+            }
+        }
+        Ok(snapshot)
     }
 
     /// Blocks until the snapshot for `epoch` has been published, then
@@ -915,6 +1101,114 @@ mod tests {
         assert_eq!(sealed.device_count(), 15);
         assert_eq!(reader.get().epoch(), 2);
         assert_eq!(fleet.published_epoch(), 2);
+    }
+
+    #[test]
+    fn corrupt_delta_rejects_the_seal_and_the_fleet_keeps_serving() {
+        // Regression: a delta that does not chain onto the published
+        // snapshot used to panic inside `apply_delta` *after* the epoch
+        // was assigned — poisoning the publish chain and bricking every
+        // later seal. Now the seal is rejected as `CorruptDelta`, the
+        // epoch rolls back, and the next seal re-anchors from the
+        // authoritative shard state.
+        let fleet = ShardedFleet::with_reanchor_interval(4, TwoTierWeights::flat(), 0);
+        fleet.ingest_batch(&ops(16));
+        assert_eq!(fleet.seal_epoch().epoch(), 1);
+
+        // Forge the corruption: register a device whose measurement opens
+        // a brand-new bucket, steal the shard's pending delta (so the
+        // registration is lost from the delta but not the registry), then
+        // deregister it — the surviving delta edits a bucket the published
+        // snapshot has never seen.
+        let rogue = ReplicaId::new(7777);
+        fleet.ingest_batch(&[ChurnOp::attest(
+            rogue,
+            sha256(b"rogue-config"),
+            VotingPower::new(50),
+        )]);
+        let _stolen = fleet.shards[fleet.shard_of(rogue)]
+            .lock()
+            .unwrap()
+            .take_delta();
+        fleet.ingest_batch(&[ChurnOp::Deregister { replica: rogue }]);
+
+        let err = fleet.try_seal_epoch().unwrap_err();
+        assert!(
+            matches!(&err, SealError::CorruptDelta { epoch: 2, .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("not chained"), "got {err}");
+
+        // No epoch was consumed and the fleet still serves epoch 1.
+        assert_eq!(fleet.snapshot().epoch(), 1);
+        assert_eq!(fleet.published_epoch(), 1);
+        fleet.ingest_batch(&[ChurnOp::attest(
+            ReplicaId::new(8888),
+            sha256(b"late-config"),
+            VotingPower::new(30),
+        )]);
+        assert_eq!(fleet.device_count(), 17);
+
+        // The next seal re-anchors (full rebuild) and matches an oracle
+        // that saw the same surviving history.
+        let sealed = fleet.seal_epoch();
+        assert_eq!(sealed.epoch(), 2);
+        let oracle = ShardedFleet::new(1, TwoTierWeights::flat());
+        oracle.ingest_batch(&ops(16));
+        oracle.ingest_batch(&[ChurnOp::attest(
+            ReplicaId::new(8888),
+            sha256(b"late-config"),
+            VotingPower::new(30),
+        )]);
+        assert_eq!(
+            sealed.content_hash(),
+            oracle.seal_epoch().content_hash(),
+            "re-anchor must rebuild from the authoritative shard state"
+        );
+    }
+
+    #[test]
+    fn checkpoint_cadence_is_independent_of_the_reanchor_cadence() {
+        use crate::recover::DurabilityConfig;
+        let base = std::env::temp_dir().join(format!("fi-fleet-cadence-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // "Re-anchor never" must not silently mean "checkpoint never"…
+        let dir_a = base.join("reanchor0");
+        let (fleet, _) = ShardedFleet::open_durable(
+            2,
+            TwoTierWeights::flat(),
+            0,
+            DurabilityConfig::new(&dir_a).with_checkpoint_interval(2),
+        )
+        .unwrap();
+        for chunk in ops(32).chunks(8) {
+            fleet.ingest_batch(chunk);
+            fleet.seal_epoch();
+        }
+        assert!(
+            !checkpoint::list_checkpoints(&dir_a).unwrap().is_empty(),
+            "checkpoints must be cut even with re-anchoring disabled"
+        );
+
+        // …and a tight re-anchor cadence must not force checkpoints.
+        let dir_b = base.join("checkpoint0");
+        let (fleet, _) = ShardedFleet::open_durable(
+            2,
+            TwoTierWeights::flat(),
+            1,
+            DurabilityConfig::new(&dir_b).with_checkpoint_interval(0),
+        )
+        .unwrap();
+        for chunk in ops(32).chunks(8) {
+            fleet.ingest_batch(chunk);
+            fleet.seal_epoch();
+        }
+        assert!(
+            checkpoint::list_checkpoints(&dir_b).unwrap().is_empty(),
+            "checkpoint_interval 0 must disable checkpointing regardless of re-anchoring"
+        );
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

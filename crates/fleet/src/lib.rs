@@ -36,6 +36,12 @@
 //!   [`select_greedy`](EpochSnapshot::select_greedy),
 //!   [`select_two_tier`](EpochSnapshot::select_two_tier), and monitoring
 //!   queries lock-free while ingest continues.
+//! * Durable fleets ([`ShardedFleet::open_durable`]) tee every ingested
+//!   batch into a write-ahead churn log ([`wal`]), cut periodic
+//!   self-verifying checkpoints ([`checkpoint`]), and recover after a
+//!   crash by restoring the newest checkpoint and replaying the log tail,
+//!   with every replayed epoch's content hash asserted against the seal
+//!   records the pre-crash process logged ([`recover`]).
 //!
 //! **Thread-invariance guarantee:** the sealed snapshot — every bucket,
 //! the entropy, the roster, the content hash — is bit-identical for any
@@ -69,18 +75,24 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod error;
 pub mod fleet;
 pub mod publish;
+pub mod recover;
 pub mod snapshot;
 pub mod trace;
+pub mod wal;
 
 pub use cache::{CacheStats, SelectionCache, SelectionPolicy};
-pub use error::FleetConfigError;
+pub use checkpoint::Checkpoint;
+pub use error::{CheckpointError, FleetConfigError, RecoveryError, SealError, WalError};
 pub use fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
 pub use publish::{SnapshotCell, SnapshotHandle};
+pub use recover::{DurabilityConfig, RecoveryReport};
 pub use snapshot::EpochSnapshot;
 pub use trace::{churn_trace, measurement_pool, ChurnTraceConfig};
+pub use wal::{ChurnLog, WalRecord, DEFAULT_SEGMENT_BYTES};
 
 // The ingest vocabulary is fi-attest's; re-export it so fleet users need
 // one import.
@@ -89,10 +101,13 @@ pub use fi_attest::{ChurnDelta, ChurnOp};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::cache::{CacheStats, SelectionCache, SelectionPolicy};
-    pub use crate::error::FleetConfigError;
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::error::{CheckpointError, FleetConfigError, RecoveryError, SealError, WalError};
     pub use crate::fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
     pub use crate::publish::{SnapshotCell, SnapshotHandle};
+    pub use crate::recover::{DurabilityConfig, RecoveryReport};
     pub use crate::snapshot::EpochSnapshot;
     pub use crate::trace::{churn_trace, measurement_pool, ChurnTraceConfig};
+    pub use crate::wal::{ChurnLog, WalRecord, DEFAULT_SEGMENT_BYTES};
     pub use fi_attest::{ChurnDelta, ChurnOp};
 }

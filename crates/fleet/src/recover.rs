@@ -1,0 +1,448 @@
+//! Crash recovery: checkpoint restore plus hash-verified log replay.
+//!
+//! [`ShardedFleet::open_durable`] is the single entry point for durable
+//! fleets, both cold starts and post-crash restarts:
+//!
+//! 1. Open the write-ahead churn log ([`ChurnLog::open`] truncates any
+//!    torn tail the crash left) and scan its records.
+//! 2. Load the newest fully-verified checkpoint
+//!    ([`checkpoint::latest_valid`] re-derives the content hash on load),
+//!    re-ingest its device roster into a fresh fleet, and publish its
+//!    verified snapshot so the next differential seal chains onto it.
+//! 3. Replay the log tail after the checkpoint's cut marker: batches are
+//!    re-ingested, and at every surviving cut marker the epoch is
+//!    re-sealed. Wherever the pre-crash process logged an
+//!    [`WalRecord::EpochSeal`], the replayed snapshot's content hash must
+//!    equal the logged one — recovery refuses to serve state that differs
+//!    from what was served before the crash
+//!    ([`RecoveryError::HashMismatch`]).
+//!
+//! ## Superseded cut markers
+//!
+//! A seal rejected as [`SealError::CorruptDelta`](crate::SealError) has
+//! already framed its cut marker when the rejection rolls the epoch back;
+//! the next successful seal then frames a cut for the *same* epoch.
+//! Successful epochs are strictly increasing, so replay keeps only the
+//! **last** cut per epoch: walking the log backwards, a cut whose epoch is
+//! `>=` a later cut's epoch was superseded and is skipped. The batches
+//! that preceded an aborted cut simply merge into the next kept cut's
+//! epoch — exactly what the pre-crash full-rebuild re-anchor did — and
+//! the content hash is path-independent, so verification still holds.
+//!
+//! ## What replay tolerates vs. refuses
+//!
+//! Tolerated: a torn tail in the final segment (frames that were never
+//! fsynced), a trailing cut with no seal record (a crash between cut and
+//! publication — the epoch is rolled forward), missing or damaged
+//! checkpoints (an older checkpoint plus a longer replay is still
+//! correct). Refused: corruption in a non-final segment, a sequence gap,
+//! a checkpointed epoch with no surviving cut marker, and any replayed
+//! epoch whose hash disagrees with its logged seal.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use fi_attest::{ChurnOp, RegisteredDevice, ReplicaTier, TwoTierWeights};
+use fi_types::Digest;
+
+use crate::checkpoint;
+use crate::error::RecoveryError;
+use crate::fleet::{DurabilityState, ShardedFleet};
+use crate::wal::{self, ChurnLog, WalRecord, DEFAULT_SEGMENT_BYTES};
+
+/// Default checkpoint cadence: one full snapshot every this many seals.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 8;
+/// Default number of checkpoints kept after pruning.
+pub const DEFAULT_RETAIN_CHECKPOINTS: usize = 2;
+
+/// Where and how a durable fleet persists its state.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The durability directory: WAL segments (`wal-*.log`) and
+    /// checkpoints (`ckpt-*.fic`) live side by side here.
+    pub dir: PathBuf,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Checkpoint every this many sealed epochs; `0` disables
+    /// checkpointing (recovery then replays the whole log). Deliberately
+    /// independent of the fleet's re-anchor cadence — see
+    /// [`ShardedFleet::with_reanchor_interval`]: `reanchor_interval == 0`
+    /// ("re-anchor never") does **not** imply "checkpoint never", and
+    /// vice versa.
+    pub checkpoint_interval: u64,
+    /// How many of the newest checkpoints survive pruning (clamped to at
+    /// least 1 whenever any are written).
+    pub retain_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// A config rooted at `dir` with the default segment size, checkpoint
+    /// cadence ([`DEFAULT_CHECKPOINT_INTERVAL`]), and retention
+    /// ([`DEFAULT_RETAIN_CHECKPOINTS`]).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            retain_checkpoints: DEFAULT_RETAIN_CHECKPOINTS,
+        }
+    }
+
+    /// Sets the WAL segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> DurabilityConfig {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the checkpoint cadence (`0` = never).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, every: u64) -> DurabilityConfig {
+        self.checkpoint_interval = every;
+        self
+    }
+
+    /// Sets how many checkpoints pruning retains.
+    #[must_use]
+    pub fn with_retain_checkpoints(mut self, retain: usize) -> DurabilityConfig {
+        self.retain_checkpoints = retain;
+        self
+    }
+}
+
+/// What [`ShardedFleet::open_durable`] found and rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// The epoch of the checkpoint recovery restored from, if any.
+    pub checkpoint_epoch: Option<u64>,
+    /// The epoch the recovered fleet serves (0 for a fresh directory).
+    pub recovered_epoch: u64,
+    /// Epochs re-sealed from the log tail.
+    pub replayed_epochs: u64,
+    /// Churn ops re-ingested from the log tail (sealed and pending).
+    pub replayed_ops: u64,
+    /// Replayed ops past the last cut: applied to the shards but not yet
+    /// sealed — they land in the next epoch, as they would have pre-crash.
+    pub pending_ops: u64,
+    /// Torn bytes truncated from the final WAL segment.
+    pub truncated_bytes: u64,
+    /// Replayed epochs whose content hash was checked against a logged
+    /// seal record (and matched — a mismatch fails recovery).
+    pub verified_seals: u64,
+}
+
+/// The synthetic churn op that re-registers a checkpointed device.
+///
+/// Vote-key bindings are not captured by checkpoints (see
+/// [`crate::checkpoint`]); the content hash ignores them, so restored
+/// state still verifies, and bindings for later attestations come from
+/// the replayed tail.
+fn restore_op(d: &RegisteredDevice) -> ChurnOp {
+    match (d.tier, d.measurement) {
+        (ReplicaTier::Attested, Some(measurement)) => ChurnOp::Attest {
+            replica: d.replica,
+            measurement,
+            vote_key: None,
+            power: d.power,
+        },
+        _ => ChurnOp::Unattested {
+            replica: d.replica,
+            power: d.power,
+        },
+    }
+}
+
+impl ShardedFleet {
+    /// Opens (or creates) a durable fleet rooted at `config.dir`,
+    /// recovering whatever state the directory holds.
+    ///
+    /// On an empty directory this is a cold start: a fresh fleet at epoch
+    /// zero whose churn is write-ahead logged from the first batch. On a
+    /// directory left by a crash (or clean shutdown), the fleet is rebuilt
+    /// from the newest valid checkpoint plus a replay of the log tail,
+    /// with every replayed epoch's content hash verified against the seal
+    /// records the pre-crash process logged. The shard count and cadences
+    /// may differ from the pre-crash process — sealed snapshots are
+    /// canonical, so re-sharding on recovery yields bit-identical epochs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RecoveryError`]; see the module docs for what replay
+    /// tolerates versus refuses.
+    pub fn open_durable(
+        shard_count: usize,
+        weights: TwoTierWeights,
+        reanchor_interval: u64,
+        config: DurabilityConfig,
+    ) -> Result<(ShardedFleet, RecoveryReport), RecoveryError> {
+        if shard_count == 0 {
+            return Err(crate::error::FleetConfigError::ZeroShards.into());
+        }
+        let (log, truncated_bytes) = ChurnLog::open(&config.dir, config.segment_bytes)?;
+        let scan = wal::read_records(&config.dir)?;
+        let records = scan.records;
+        let mut report = RecoveryReport {
+            truncated_bytes: truncated_bytes + scan.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+
+        // Superseded-cut pass: keep only the last cut per epoch (see the
+        // module docs), and collect each epoch's logged seal hash (last
+        // record wins there too — a re-sealed epoch re-logs its hash).
+        let mut kept = vec![true; records.len()];
+        let mut min_later_epoch = u64::MAX;
+        for (i, record) in records.iter().enumerate().rev() {
+            if let WalRecord::EpochCut { epoch } = record {
+                if *epoch >= min_later_epoch {
+                    kept[i] = false;
+                } else {
+                    min_later_epoch = *epoch;
+                }
+            }
+        }
+        let mut seal_hashes: BTreeMap<u64, Digest> = BTreeMap::new();
+        for record in &records {
+            if let WalRecord::EpochSeal {
+                epoch,
+                content_hash,
+            } = record
+            {
+                seal_hashes.insert(*epoch, *content_hash);
+            }
+        }
+
+        let fleet = ShardedFleet::with_reanchor_interval(shard_count, weights, reanchor_interval);
+
+        // Checkpoint restore: re-ingest the roster so the shards hold the
+        // authoritative state, then publish the verified snapshot so the
+        // first replayed differential seal chains onto it.
+        let replay_from = match checkpoint::latest_valid(&config.dir)? {
+            Some((ckpt, snapshot)) => {
+                let roster: Vec<ChurnOp> = ckpt.devices.iter().map(restore_op).collect();
+                fleet.ingest_batch(&roster);
+                fleet.restore_published(Arc::new(snapshot));
+                report.checkpoint_epoch = Some(ckpt.epoch);
+                // The cut marker was fsynced before its checkpoint was
+                // written, so a valid checkpoint with no surviving cut
+                // means the log lost acknowledged history.
+                let cut_index = records
+                    .iter()
+                    .enumerate()
+                    .position(|(i, r)| {
+                        kept[i]
+                            && matches!(r, WalRecord::EpochCut { epoch } if *epoch == ckpt.epoch)
+                    })
+                    .ok_or(RecoveryError::MissingCut { epoch: ckpt.epoch })?;
+                cut_index + 1
+            }
+            None => 0,
+        };
+
+        // Tail replay. Durability is not attached yet, so nothing here is
+        // re-logged — the records being replayed *are* the log.
+        for (i, record) in records.iter().enumerate().skip(replay_from) {
+            match record {
+                WalRecord::Batch(ops) => {
+                    fleet.ingest_batch(ops);
+                    report.replayed_ops += ops.len() as u64;
+                    report.pending_ops += ops.len() as u64;
+                }
+                WalRecord::EpochCut { epoch } if kept[i] => {
+                    let sealed = fleet.try_seal_epoch()?;
+                    report.replayed_epochs += 1;
+                    report.pending_ops = 0;
+                    if sealed.epoch() != *epoch {
+                        return Err(RecoveryError::EpochMismatch {
+                            logged: *epoch,
+                            replayed: sealed.epoch(),
+                        });
+                    }
+                    if let Some(logged) = seal_hashes.get(epoch) {
+                        if sealed.content_hash() != *logged {
+                            return Err(RecoveryError::HashMismatch {
+                                epoch: *epoch,
+                                logged: *logged,
+                                recovered: sealed.content_hash(),
+                            });
+                        }
+                        report.verified_seals += 1;
+                    }
+                }
+                // Superseded cuts and seal records replay as no-ops.
+                WalRecord::EpochCut { .. } | WalRecord::EpochSeal { .. } => {}
+            }
+        }
+
+        report.recovered_epoch = fleet.published_epoch();
+        let mut fleet = fleet;
+        fleet.attach_durability(DurabilityState {
+            log: Mutex::new(log),
+            dir: config.dir,
+            checkpoint_interval: config.checkpoint_interval,
+            retain_checkpoints: config.retain_checkpoints,
+        });
+        Ok((fleet, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{churn_trace, ChurnTraceConfig};
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("fi-recover-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn empty_directory_cold_starts_a_durable_fleet() {
+        let dir = tmpdir("cold");
+        let (fleet, report) =
+            ShardedFleet::open_durable(4, TwoTierWeights::flat(), 0, DurabilityConfig::new(&dir))
+                .unwrap();
+        assert!(fleet.is_durable());
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(fleet.snapshot().epoch(), 0);
+        // Churn is logged from the very first batch.
+        fleet.ingest_batch(&churn_trace(&ChurnTraceConfig::new(50, 80)));
+        let sealed = fleet.seal_epoch();
+        assert_eq!(sealed.epoch(), 1);
+        let scan = wal::read_records(&dir).unwrap();
+        assert!(scan
+            .records
+            .iter()
+            .any(|r| matches!(r, WalRecord::EpochCut { epoch: 1 })));
+        assert!(scan.records.iter().any(|r| matches!(
+            r,
+            WalRecord::EpochSeal { epoch: 1, content_hash } if *content_hash == sealed.content_hash()
+        )));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_restores_the_pre_crash_epoch_and_hash() {
+        let dir = tmpdir("restart");
+        let trace = churn_trace(&ChurnTraceConfig::new(300, 700));
+        // The trace is 1000 ops (300 registrations + 700 churn), sealed in
+        // 90-op batches: 12 epochs. Interval 5 leaves the newest
+        // checkpoint (epoch 10) trailing the final epoch, so recovery must
+        // replay — and hash-verify — the epochs after it.
+        let config = DurabilityConfig::new(&dir).with_checkpoint_interval(5);
+        let (pre_epoch, pre_hash, pre_count) = {
+            let (fleet, _) =
+                ShardedFleet::open_durable(4, TwoTierWeights::flat(), 3, config.clone()).unwrap();
+            for batch in trace.chunks(90) {
+                fleet.ingest_batch(batch);
+                fleet.seal_epoch();
+            }
+            let snap = fleet.snapshot();
+            (snap.epoch(), snap.content_hash(), fleet.device_count())
+        };
+        assert!(pre_epoch >= 4);
+
+        let (fleet, report) =
+            ShardedFleet::open_durable(4, TwoTierWeights::flat(), 3, config.clone()).unwrap();
+        assert_eq!(report.recovered_epoch, pre_epoch);
+        assert_eq!(fleet.snapshot().epoch(), pre_epoch);
+        assert_eq!(fleet.snapshot().content_hash(), pre_hash);
+        assert_eq!(fleet.device_count(), pre_count);
+        assert!(report.checkpoint_epoch.is_some());
+        assert!(report.verified_seals > 0);
+
+        // The recovered fleet keeps serving: new churn logs and seals, and
+        // a second recovery finds the new epoch too.
+        fleet.ingest_batch(&churn_trace(&ChurnTraceConfig::new(40, 60)));
+        let next = fleet.seal_epoch();
+        assert_eq!(next.epoch(), pre_epoch + 1);
+        drop(fleet);
+        let (again, report2) =
+            ShardedFleet::open_durable(4, TwoTierWeights::flat(), 3, config).unwrap();
+        assert_eq!(report2.recovered_epoch, pre_epoch + 1);
+        assert_eq!(again.snapshot().content_hash(), next.content_hash());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_rehydrates_into_any_shard_count() {
+        let dir = tmpdir("reshard");
+        let trace = churn_trace(&ChurnTraceConfig::new(200, 400));
+        let config = DurabilityConfig::new(&dir).with_checkpoint_interval(3);
+        {
+            let (fleet, _) =
+                ShardedFleet::open_durable(4, TwoTierWeights::flat(), 0, config.clone()).unwrap();
+            for batch in trace.chunks(80) {
+                fleet.ingest_batch(batch);
+                fleet.seal_epoch();
+            }
+        }
+        let (one, r1) =
+            ShardedFleet::open_durable(1, TwoTierWeights::flat(), 0, config.clone()).unwrap();
+        let (eight, r8) = ShardedFleet::open_durable(8, TwoTierWeights::flat(), 5, config).unwrap();
+        assert_eq!(r1.recovered_epoch, r8.recovered_epoch);
+        assert_eq!(
+            one.snapshot().content_hash(),
+            eight.snapshot().content_hash()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_checkpoints_recovery_replays_from_genesis() {
+        let dir = tmpdir("genesis");
+        let trace = churn_trace(&ChurnTraceConfig::new(150, 300));
+        let config = DurabilityConfig::new(&dir).with_checkpoint_interval(0);
+        let pre_hash = {
+            let (fleet, _) =
+                ShardedFleet::open_durable(2, TwoTierWeights::flat(), 0, config.clone()).unwrap();
+            for batch in trace.chunks(60) {
+                fleet.ingest_batch(batch);
+                fleet.seal_epoch();
+            }
+            fleet.snapshot().content_hash()
+        };
+        assert!(checkpoint::list_checkpoints(&dir).unwrap().is_empty());
+        let (fleet, report) =
+            ShardedFleet::open_durable(2, TwoTierWeights::flat(), 0, config).unwrap();
+        assert_eq!(report.checkpoint_epoch, None);
+        assert_eq!(report.replayed_epochs, report.recovered_epoch);
+        assert_eq!(fleet.snapshot().content_hash(), pre_hash);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_tail_ops_land_in_the_next_epoch() {
+        let dir = tmpdir("pending");
+        let config = DurabilityConfig::new(&dir);
+        let tail = churn_trace(&ChurnTraceConfig::new(30, 40));
+        {
+            let (fleet, _) =
+                ShardedFleet::open_durable(2, TwoTierWeights::flat(), 0, config.clone()).unwrap();
+            fleet.ingest_batch(&churn_trace(&ChurnTraceConfig::new(100, 150)));
+            fleet.seal_epoch();
+            // Logged but never sealed: the crash comes before the next cut.
+            fleet.ingest_batch(&tail);
+        }
+        let (fleet, report) =
+            ShardedFleet::open_durable(2, TwoTierWeights::flat(), 0, config).unwrap();
+        assert_eq!(report.recovered_epoch, 1);
+        assert_eq!(report.pending_ops, tail.len() as u64);
+        // Oracle: the same history in one in-memory fleet.
+        let oracle = ShardedFleet::new(1, TwoTierWeights::flat());
+        oracle.ingest_batch(&churn_trace(&ChurnTraceConfig::new(100, 150)));
+        oracle.seal_epoch();
+        oracle.ingest_batch(&tail);
+        assert_eq!(
+            fleet.seal_epoch().content_hash(),
+            oracle.seal_epoch().content_hash()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

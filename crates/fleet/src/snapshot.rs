@@ -43,6 +43,8 @@ use fi_types::{Digest, ReplicaId, VotingPower};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use crate::error::SealError;
+
 /// An immutable, sealed view of the whole fleet at one epoch: merged
 /// measurement buckets, a prebuilt entropy accumulator, the sorted device
 /// roster as committee candidates, and a stable content hash.
@@ -281,12 +283,30 @@ impl EpochSnapshot {
     /// # Panics
     ///
     /// Panics if the delta was not produced on top of exactly this
-    /// snapshot's fleet content (a chaining error): a bucket delta that
-    /// underflows its bucket, a member count going negative, an opaque
-    /// delta driving the opaque power negative, or a new bucket arriving
-    /// without members.
+    /// snapshot's fleet content (a chaining error). This is the panicking
+    /// wrapper over [`try_apply_delta`](Self::try_apply_delta) for callers
+    /// that treat an unchained delta as a programming error; the fleet's
+    /// seal path uses the fallible form so a corrupt delta rejects the
+    /// seal instead of unwinding while the publish chain is armed.
     #[must_use]
     pub fn apply_delta(&self, epoch: u64, delta: &ChurnDelta) -> EpochSnapshot {
+        self.try_apply_delta(epoch, delta)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`apply_delta`](Self::apply_delta), but a delta that does not chain
+    /// onto this snapshot's fleet content comes back as
+    /// [`SealError::CorruptDelta`] instead of a panic: a bucket delta that
+    /// underflows its bucket, a member count going negative, an opaque
+    /// delta driving the opaque power negative, a new bucket arriving
+    /// without members, or an overflow past the integer domains. `self` is
+    /// never mutated — a rejected delta leaves this snapshot serving.
+    pub fn try_apply_delta(
+        &self,
+        epoch: u64,
+        delta: &ChurnDelta,
+    ) -> Result<EpochSnapshot, SealError> {
+        let corrupt = |detail: String| SealError::CorruptDelta { epoch, detail };
         let dirty = delta.sorted_buckets();
         let roster = delta.sorted_roster();
 
@@ -318,21 +338,28 @@ impl EpochSnapshot {
                 let (m, d) = dirty[j];
                 let members = i64::from(self.bucket_members[i]) + d.members;
                 let power = i128::from(old_buckets[i].1.as_units()) + d.power;
-                assert!(
-                    members >= 0 && power >= 0,
-                    "churn delta underflows bucket {m}: delta not chained on this snapshot"
-                );
+                if members < 0 || power < 0 {
+                    return Err(corrupt(format!(
+                        "churn delta underflows bucket {m}: delta not chained on this snapshot"
+                    )));
+                }
                 if members == 0 {
-                    assert_eq!(
-                        power, 0,
-                        "memberless bucket {m} retains power: delta not chained on this snapshot"
-                    );
+                    if power != 0 {
+                        return Err(corrupt(format!(
+                            "memberless bucket {m} retains power: \
+                             delta not chained on this snapshot"
+                        )));
+                    }
                     bucket_agg.remove(&bucket_row_digest(&m, old_buckets[i].1));
                     removals.push(i);
                 } else {
-                    let power = VotingPower::new(
-                        u64::try_from(power).expect("bucket power overflowed u64"),
-                    );
+                    let Ok(power_units) = u64::try_from(power) else {
+                        return Err(corrupt(format!(
+                            "bucket {m} power overflows u64: \
+                             delta not chained on this snapshot"
+                        )));
+                    };
+                    let power = VotingPower::new(power_units);
                     slot_map[i] = buckets.len();
                     if d.power != 0 {
                         weight_edits.push((i, d.power));
@@ -340,26 +367,41 @@ impl EpochSnapshot {
                         bucket_agg.insert(&bucket_row_digest(&m, power));
                     }
                     buckets.push((m, power));
-                    bucket_members
-                        .push(u32::try_from(members).expect("bucket members overflowed u32"));
+                    let Ok(members) = u32::try_from(members) else {
+                        return Err(corrupt(format!(
+                            "bucket {m} member count overflows u32: \
+                             delta not chained on this snapshot"
+                        )));
+                    };
+                    bucket_members.push(members);
                 }
                 i += 1;
                 j += 1;
             } else {
                 // A bucket born this epoch.
                 let (m, d) = dirty[j];
-                assert!(
-                    d.members > 0 && d.power >= 0,
-                    "new bucket {m} arrives with non-positive members or negative power: \
-                     delta not chained on this snapshot"
-                );
-                let power =
-                    VotingPower::new(u64::try_from(d.power).expect("bucket power overflowed u64"));
+                if d.members <= 0 || d.power < 0 {
+                    return Err(corrupt(format!(
+                        "new bucket {m} arrives with non-positive members or negative power: \
+                         delta not chained on this snapshot"
+                    )));
+                }
+                let Ok(power_units) = u64::try_from(d.power) else {
+                    return Err(corrupt(format!(
+                        "new bucket {m} power overflows u64: delta not chained on this snapshot"
+                    )));
+                };
+                let power = VotingPower::new(power_units);
                 bucket_agg.insert(&bucket_row_digest(&m, power));
                 insertions.push((buckets.len(), power.as_units()));
                 buckets.push((m, power));
-                bucket_members
-                    .push(u32::try_from(d.members).expect("bucket members overflowed u32"));
+                let Ok(members) = u32::try_from(d.members) else {
+                    return Err(corrupt(format!(
+                        "new bucket {m} member count overflows u32: \
+                         delta not chained on this snapshot"
+                    )));
+                };
+                bucket_members.push(members);
                 j += 1;
             }
         }
@@ -371,10 +413,24 @@ impl EpochSnapshot {
         //    final position.
         let mut acc = self.acc.clone();
         for &(slot, d) in &weight_edits {
+            // Every edit survived the `old + d` range checks above, so the
+            // magnitude fits u64.
             if d > 0 {
-                acc.add(slot, u64::try_from(d).expect("power delta overflowed u64"));
+                let Ok(d) = u64::try_from(d) else {
+                    return Err(corrupt(format!(
+                        "bucket power delta {d} overflows u64: \
+                         delta not chained on this snapshot"
+                    )));
+                };
+                acc.add(slot, d);
             } else {
-                acc.remove(slot, u64::try_from(-d).expect("power delta overflowed u64"));
+                let Ok(d) = u64::try_from(-d) else {
+                    return Err(corrupt(format!(
+                        "bucket power delta {d} overflows u64: \
+                         delta not chained on this snapshot"
+                    )));
+                };
+                acc.remove(slot, d);
             }
         }
         for &slot in removals.iter().rev() {
@@ -401,16 +457,18 @@ impl EpochSnapshot {
         let mut arrivals: Vec<Candidate> = Vec::with_capacity(roster.len());
         let mut churned: Vec<ReplicaId> = Vec::with_capacity(roster.len());
         let opaque_slot = buckets.len();
-        let patched_candidate = |d: &RegisteredDevice| match d.measurement {
-            Some(m) => Candidate::new(
-                d.replica,
-                d.power,
-                buckets
-                    .binary_search_by_key(&m, |&(digest, _)| digest)
-                    .expect("every touched device's measurement has a patched bucket"),
-                true,
-            ),
-            None => Candidate::new(d.replica, d.power, opaque_slot, false),
+        let patched_candidate = |d: &RegisteredDevice| -> Result<Candidate, SealError> {
+            match d.measurement {
+                Some(m) => match buckets.binary_search_by_key(&m, |&(digest, _)| digest) {
+                    Ok(slot) => Ok(Candidate::new(d.replica, d.power, slot, true)),
+                    Err(_) => Err(corrupt(format!(
+                        "touched device {} cites measurement {m} with no patched bucket: \
+                         delta not chained on this snapshot",
+                        d.replica
+                    ))),
+                },
+                None => Ok(Candidate::new(d.replica, d.power, opaque_slot, false)),
+            }
         };
         let mut devices = Vec::with_capacity(self.devices.len() + roster.len());
         let mut candidates = Vec::with_capacity(self.devices.len() + roster.len());
@@ -421,11 +479,13 @@ impl EpochSnapshot {
             if take_old {
                 let old = &self.candidates[di];
                 let config = slot_map[old.config()];
-                assert_ne!(
-                    config,
-                    usize::MAX,
-                    "untouched device points at a removed bucket: delta not chained on this snapshot"
-                );
+                if config == usize::MAX {
+                    return Err(corrupt(format!(
+                        "untouched device {} points at a removed bucket: \
+                         delta not chained on this snapshot",
+                        old.replica()
+                    )));
+                }
                 devices.push(self.devices[di]);
                 candidates.push(Candidate::new(
                     old.replica(),
@@ -439,7 +499,7 @@ impl EpochSnapshot {
                 churned.push(replica);
                 if let Some(d) = state {
                     devices.push(d);
-                    let c = patched_candidate(&d);
+                    let c = patched_candidate(&d)?;
                     candidates.push(c);
                     arrivals.push(c);
                     device_agg.insert(&device_row_digest(&d));
@@ -469,13 +529,26 @@ impl EpochSnapshot {
             "differentially patched selection index diverged from a rebuild"
         );
 
-        // 4. Opaque power (integer-exact) and the content hash finalised
-        //    over the patched row aggregates — byte-identical to a full
-        //    rebuild's, in O(changed rows) instead of O(fleet).
-        let opaque = delta.patched_opaque(self.opaque);
+        // 4. Opaque power (integer-exact, range-checked here rather than
+        //    through `patched_opaque`, which panics on an unchained delta)
+        //    and the content hash finalised over the patched row
+        //    aggregates — byte-identical to a full rebuild's, in
+        //    O(changed rows) instead of O(fleet).
+        let opaque_units = i128::from(self.opaque.as_units()) + delta.opaque_delta();
+        if opaque_units < 0 {
+            return Err(corrupt(
+                "opaque power driven negative: delta not chained on this snapshot".to_string(),
+            ));
+        }
+        let Ok(opaque_units) = u64::try_from(opaque_units) else {
+            return Err(corrupt(
+                "opaque power overflows u64: delta not chained on this snapshot".to_string(),
+            ));
+        };
+        let opaque = VotingPower::new(opaque_units);
         let content_hash =
             Self::finalize_content(buckets.len(), bucket_agg, opaque, devices.len(), device_agg);
-        EpochSnapshot {
+        Ok(EpochSnapshot {
             epoch,
             weights: self.weights,
             buckets,
@@ -490,7 +563,7 @@ impl EpochSnapshot {
             bucket_agg,
             device_agg,
             content_hash,
-        }
+        })
     }
 
     /// The epoch counter this snapshot was sealed at.

@@ -1,0 +1,557 @@
+//! The write-ahead churn log.
+//!
+//! Every churn batch a durable fleet applies is first framed and appended
+//! here; every epoch cut writes a marker and fsyncs. After a crash,
+//! [`crate::recover`] replays the log on top of the latest checkpoint and
+//! arrives at the exact pre-crash registry state — verified hash-for-hash
+//! against the seal records the pre-crash process logged.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of segment files `wal-{seq:08}.log`. Each segment
+//! starts with a 20-byte header — 8-byte magic `b"FIWALOG1"`, `u32`
+//! format version, `u64` segment sequence number, all little-endian —
+//! followed by frames:
+//!
+//! ```text
+//! [u32 len] [len bytes payload] [u32 crc32(payload)]
+//! ```
+//!
+//! The payload is a [`WalRecord`] in the `fi_types::codec` encoding.
+//! Frames never span segments; when the active segment reaches the
+//! configured size the log rotates to the next sequence number.
+//!
+//! ## Crash tolerance
+//!
+//! A crash can tear the last frame of the **final** segment (short frame,
+//! bad CRC, or a CRC-valid prefix that does not decode). [`ChurnLog::open`]
+//! detects the torn tail, truncates it, and resumes appending — losing at
+//! most the frames that were never fsynced. The same tolerance in any
+//! *earlier* segment is refused as [`WalError::Corrupt`]: rotation fsyncs
+//! the outgoing segment, so a non-final segment can only be damaged by
+//! external corruption, and replaying around it would silently drop
+//! acknowledged history.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use fi_attest::ChurnOp;
+use fi_types::codec::{read_header, write_header, CodecError, Decode, Encode, Reader};
+use fi_types::{crc32, Digest};
+
+use crate::error::WalError;
+
+/// Magic prefix of every WAL segment.
+pub const WAL_MAGIC: &[u8; 8] = b"FIWALOG1";
+/// Current segment format version.
+pub const WAL_VERSION: u32 = 1;
+/// Bytes of segment header: magic + version + sequence number.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+/// Frame overhead: length prefix + CRC suffix.
+const FRAME_OVERHEAD: u64 = 4 + 4;
+/// Default rotation threshold (8 MiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// One durable log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A churn batch, logged *before* it is applied to the shards.
+    Batch(Vec<ChurnOp>),
+    /// An epoch cut: every batch framed before this marker belongs to
+    /// `epoch` or earlier; every batch after it to a later epoch. Written
+    /// while the ingest gate is held exclusively, then fsynced — the
+    /// durability point of the epoch.
+    EpochCut {
+        /// The epoch the cut begins sealing.
+        epoch: u64,
+    },
+    /// The content hash the seal of `epoch` published — the recovery
+    /// oracle. Appended after publication, so a crash between cut and
+    /// seal leaves a cut with no seal record (replay still verifies every
+    /// epoch that *does* have one).
+    EpochSeal {
+        /// The sealed epoch.
+        epoch: u64,
+        /// The published snapshot's content hash.
+        content_hash: Digest,
+    },
+}
+
+impl Encode for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Batch(ops) => {
+                out.push(1);
+                ops.encode(out);
+            }
+            WalRecord::EpochCut { epoch } => {
+                out.push(2);
+                epoch.encode(out);
+            }
+            WalRecord::EpochSeal {
+                epoch,
+                content_hash,
+            } => {
+                out.push(3);
+                epoch.encode(out);
+                content_hash.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for WalRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            1 => Ok(WalRecord::Batch(Vec::<ChurnOp>::decode(r)?)),
+            2 => Ok(WalRecord::EpochCut {
+                epoch: u64::decode(r)?,
+            }),
+            3 => Ok(WalRecord::EpochSeal {
+                epoch: u64::decode(r)?,
+                content_hash: Digest::decode(r)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                context: "WalRecord",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The result of scanning a log directory.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Every intact record, in append order across segments.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail found (and, on [`ChurnLog::open`], truncated)
+    /// in the final segment.
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, segment-rotated churn log rooted at a directory.
+#[derive(Debug)]
+pub struct ChurnLog {
+    dir: PathBuf,
+    segment_bytes: u64,
+    active: File,
+    active_seq: u64,
+    active_len: u64,
+}
+
+impl ChurnLog {
+    /// Opens (or creates) the log at `dir`, truncating any torn tail left
+    /// by a crash. Returns the log and the number of torn bytes dropped.
+    pub fn open(dir: impl Into<PathBuf>, segment_bytes: u64) -> Result<(Self, u64), WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let (active_seq, path) = match segments.last() {
+            Some((seq, path)) => (*seq, path.clone()),
+            None => {
+                let path = segment_path(&dir, 0);
+                create_segment(&path, 0)?;
+                sync_dir(&dir);
+                (0, path)
+            }
+        };
+        let bytes = fs::read(&path)?;
+        let scan = scan_segment(&bytes, &path, active_seq, true, None)?;
+        if scan.torn_bytes > 0 {
+            // Drop the torn tail so new frames append onto a clean prefix.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(scan.valid_len)?;
+            f.sync_all()?;
+        }
+        let active = OpenOptions::new().append(true).open(&path)?;
+        Ok((
+            ChurnLog {
+                dir,
+                segment_bytes: segment_bytes.max(HEADER_LEN + FRAME_OVERHEAD),
+                active,
+                active_seq,
+                active_len: scan.valid_len,
+            },
+            scan.torn_bytes,
+        ))
+    }
+
+    /// The directory holding the segments.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path of the segment currently being appended to.
+    #[must_use]
+    pub fn active_segment(&self) -> PathBuf {
+        segment_path(&self.dir, self.active_seq)
+    }
+
+    /// Appends one framed record (buffered — call [`sync`](Self::sync) to
+    /// make it durable). Rotates to a fresh segment first if the active one
+    /// has reached the configured size.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let payload = record.to_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD as usize);
+        (payload.len() as u32).encode(&mut frame);
+        frame.extend_from_slice(&payload);
+        crc32(&payload).encode(&mut frame);
+        self.active.write_all(&frame)?;
+        self.active_len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.active.sync_data()?;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        // The outgoing segment must be durable before it becomes non-final:
+        // the torn-tail tolerance only covers the last segment.
+        self.active.sync_all()?;
+        let next = self.active_seq + 1;
+        let path = segment_path(&self.dir, next);
+        create_segment(&path, next)?;
+        sync_dir(&self.dir);
+        self.active = OpenOptions::new().append(true).open(&path)?;
+        self.active_seq = next;
+        self.active_len = HEADER_LEN;
+        Ok(())
+    }
+}
+
+/// Scans every segment under `dir` and returns the intact records in
+/// append order, tolerating (but not repairing) a torn tail in the final
+/// segment. Corruption anywhere else is a hard [`WalError::Corrupt`].
+pub fn read_records(dir: impl AsRef<Path>) -> Result<ScanOutcome, WalError> {
+    let dir = dir.as_ref();
+    let segments = list_segments(dir)?;
+    let mut outcome = ScanOutcome::default();
+    let last = segments.len().saturating_sub(1);
+    for (i, (seq, path)) in segments.iter().enumerate() {
+        if *seq != segments[0].0 + i as u64 {
+            return Err(WalError::Corrupt {
+                segment: path.clone(),
+                offset: 0,
+                detail: format!(
+                    "segment sequence gap: expected {} next, found {seq}",
+                    segments[0].0 + i as u64
+                ),
+            });
+        }
+        let bytes = fs::read(path)?;
+        let scan = scan_segment(&bytes, path, *seq, i == last, Some(&mut outcome.records))?;
+        outcome.truncated_bytes += scan.torn_bytes;
+    }
+    Ok(outcome)
+}
+
+struct SegmentScan {
+    valid_len: u64,
+    torn_bytes: u64,
+}
+
+/// Walks one segment's frames. `is_last` turns frame damage into a torn
+/// tail (scan stops, remaining bytes counted) instead of a hard error.
+fn scan_segment(
+    bytes: &[u8],
+    path: &Path,
+    expect_seq: u64,
+    is_last: bool,
+    mut records: Option<&mut Vec<WalRecord>>,
+) -> Result<SegmentScan, WalError> {
+    let fail = |offset: u64, detail: String| -> WalError {
+        WalError::Corrupt {
+            segment: path.to_path_buf(),
+            offset,
+            detail,
+        }
+    };
+    // Header. A final segment torn inside its header is unrecoverable by
+    // truncation (there is no valid prefix to keep), so it is always hard.
+    let mut r = Reader::new(bytes);
+    let version = read_header(&mut r, WAL_MAGIC, WAL_VERSION)
+        .map_err(|e| fail(0, format!("bad segment header: {e}")))?;
+    debug_assert!(version <= WAL_VERSION);
+    let seq = u64::decode(&mut r).map_err(|e| fail(0, format!("bad segment header: {e}")))?;
+    if seq != expect_seq {
+        return Err(fail(
+            0,
+            format!("segment header names sequence {seq}, file name says {expect_seq}"),
+        ));
+    }
+
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        let start = pos as u64;
+        let remaining = &bytes[pos..];
+        if remaining.is_empty() {
+            return Ok(SegmentScan {
+                valid_len: start,
+                torn_bytes: 0,
+            });
+        }
+        let torn = |detail: String| -> Result<SegmentScan, WalError> {
+            if is_last {
+                Ok(SegmentScan {
+                    valid_len: start,
+                    torn_bytes: (bytes.len() - pos) as u64,
+                })
+            } else {
+                Err(fail(start, detail))
+            }
+        };
+        if remaining.len() < 4 {
+            return torn("short frame length prefix".to_string());
+        }
+        let len = u32::from_le_bytes(remaining[..4].try_into().expect("4 bytes")) as usize;
+        let total = 4 + len + 4;
+        if remaining.len() < total {
+            return torn(format!(
+                "frame declares {len} payload bytes, only {} remain",
+                remaining.len().saturating_sub(FRAME_OVERHEAD as usize)
+            ));
+        }
+        let payload = &remaining[4..4 + len];
+        let stored_crc = u32::from_le_bytes(remaining[4 + len..total].try_into().expect("4 bytes"));
+        if crc32(payload) != stored_crc {
+            return torn("frame CRC mismatch".to_string());
+        }
+        match WalRecord::from_bytes(payload) {
+            Ok(record) => {
+                if let Some(out) = records.as_deref_mut() {
+                    out.push(record);
+                }
+            }
+            Err(e) => return torn(format!("CRC-valid frame does not decode: {e}")),
+        }
+        pos += total;
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+fn create_segment(path: &Path, seq: u64) -> Result<(), WalError> {
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    write_header(&mut header, WAL_MAGIC, WAL_VERSION);
+    seq.encode(&mut header);
+    let mut f = OpenOptions::new().write(true).create_new(true).open(path)?;
+    f.write_all(&header)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Lists `wal-*.log` segments sorted by sequence number.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((seq, entry.path()));
+    }
+    segments.sort_unstable();
+    Ok(segments)
+}
+
+/// Best-effort directory fsync so segment creation survives power loss.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_types::{sha256, ReplicaId, VotingPower};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("fi-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(n: u64) -> Vec<WalRecord> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => WalRecord::Batch(vec![
+                    ChurnOp::attest(
+                        ReplicaId::new(i),
+                        sha256(i.to_le_bytes()),
+                        VotingPower::new(i + 1),
+                    ),
+                    ChurnOp::Deregister {
+                        replica: ReplicaId::new(i + 1000),
+                    },
+                ]),
+                1 => WalRecord::EpochCut { epoch: i },
+                _ => WalRecord::EpochSeal {
+                    epoch: i,
+                    content_hash: sha256(i.to_le_bytes()),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn records_survive_append_and_reopen() {
+        let dir = tmpdir("roundtrip");
+        let records = sample_records(10);
+        {
+            let (mut log, torn) = ChurnLog::open(&dir, DEFAULT_SEGMENT_BYTES).unwrap();
+            assert_eq!(torn, 0);
+            for r in &records {
+                log.append(r).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let scan = read_records(&dir).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.truncated_bytes, 0);
+        // Reopening finds a clean tail and appends after the existing data.
+        let (mut log, torn) = ChurnLog::open(&dir, DEFAULT_SEGMENT_BYTES).unwrap();
+        assert_eq!(torn, 0);
+        log.append(&WalRecord::EpochCut { epoch: 99 }).unwrap();
+        log.sync().unwrap();
+        let scan = read_records(&dir).unwrap();
+        assert_eq!(scan.records.len(), records.len() + 1);
+        assert_eq!(
+            *scan.records.last().unwrap(),
+            WalRecord::EpochCut { epoch: 99 }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let records = sample_records(6);
+        let path = {
+            let (mut log, _) = ChurnLog::open(&dir, DEFAULT_SEGMENT_BYTES).unwrap();
+            for r in &records {
+                log.append(r).unwrap();
+            }
+            log.sync().unwrap();
+            log.active_segment()
+        };
+        // Tear the last frame mid-payload.
+        let full = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        // A pure scan tolerates the tear without repairing it.
+        let scan = read_records(&dir).unwrap();
+        assert_eq!(scan.records, records[..records.len() - 1]);
+        assert!(scan.truncated_bytes > 0);
+        // Open repairs it and appends cleanly where the tear was.
+        let (mut log, torn) = ChurnLog::open(&dir, DEFAULT_SEGMENT_BYTES).unwrap();
+        assert!(torn > 0);
+        log.append(records.last().unwrap()).unwrap();
+        log.sync().unwrap();
+        let scan = read_records(&dir).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_in_order() {
+        let dir = tmpdir("rotate");
+        let records = sample_records(40);
+        {
+            // Tiny threshold: every record lands in (roughly) its own segment.
+            let (mut log, _) = ChurnLog::open(&dir, 64).unwrap();
+            for r in &records {
+                log.append(r).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(
+            segments.len() >= 2,
+            "expected rotation, got {} segment(s)",
+            segments.len()
+        );
+        assert_eq!(read_records(&dir).unwrap().records, records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_a_non_final_segment_is_a_hard_error() {
+        let dir = tmpdir("corrupt");
+        {
+            let (mut log, _) = ChurnLog::open(&dir, 64).unwrap();
+            for r in sample_records(40) {
+                log.append(&r).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Flip one payload byte in the middle segment.
+        let victim = &segments[segments.len() / 2].1;
+        let mut bytes = fs::read(victim).unwrap();
+        let idx = HEADER_LEN as usize + 6;
+        bytes[idx] ^= 0xFF;
+        fs::write(victim, &bytes).unwrap();
+        let err = read_records(&dir).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "got {err}");
+        // The same damage in the final segment is tolerated as a torn tail.
+        let last = segments.last().unwrap().1.clone();
+        let mut bytes = fs::read(&last).unwrap();
+        let idx = HEADER_LEN as usize + 6;
+        bytes[idx] ^= 0xFF;
+        fs::write(&last, &bytes).unwrap();
+        fs::write(
+            victim,
+            fs::read(victim)
+                .map(|mut b| {
+                    b[HEADER_LEN as usize + 6] ^= 0xFF; // restore the middle segment
+                    b
+                })
+                .unwrap(),
+        )
+        .unwrap();
+        let scan = read_records(&dir).unwrap();
+        assert!(scan.truncated_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_hard_error() {
+        let dir = tmpdir("gap");
+        {
+            let (mut log, _) = ChurnLog::open(&dir, 64).unwrap();
+            for r in sample_records(40) {
+                log.append(&r).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        fs::remove_file(&segments[1].1).unwrap();
+        let err = read_records(&dir).unwrap_err();
+        assert!(err.to_string().contains("sequence gap"), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

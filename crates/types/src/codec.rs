@@ -1,0 +1,595 @@
+//! Deterministic binary codec: the workspace's durable wire format.
+//!
+//! The vendored `serde` derives are deliberate no-ops (the workspace builds
+//! offline), so persistence cannot lean on them. This module is the real
+//! thing: a hand-rolled, **deterministic** binary encoding — the same value
+//! always encodes to the same bytes, on every platform — used by the
+//! durability layer (`fi-fleet`'s write-ahead churn log and snapshot
+//! checkpoints) and verifiable byte-for-byte by the `SetDigest` content
+//! hashes those files embed.
+//!
+//! ## Format rules
+//!
+//! * All integers are **little-endian, fixed width** (no varints: torn-tail
+//!   detection and random-access framing want length-prefixed records whose
+//!   sizes are computable without decoding).
+//! * Sequences are length-prefixed with a `u64` count.
+//! * `Option<T>` is one presence byte (`0`/`1`) followed by the payload.
+//! * Enums are one tag byte followed by the variant's fields.
+//! * Files start with a **versioned magic header**
+//!   ([`write_header`]/[`read_header`]): an 8-byte magic followed by a
+//!   `u32` format version, so a reader can reject foreign or
+//!   future-versioned files before touching the payload.
+//!
+//! Decoding is strict: every length is bounds-checked against the remaining
+//! input before allocation, unknown tags are errors, and
+//! [`Decode::from_bytes`] rejects trailing bytes. Round-trip identity
+//! (`decode(encode(x)) == x` *and* `encode(decode(b)) == b` for valid `b`)
+//! is pinned by proptests in `tests/codec_roundtrip.rs`.
+//!
+//! A table-driven [`crc32`] (IEEE 802.3, the zlib polynomial) lives here
+//! too: the WAL frames every record with it to detect torn and bit-rotted
+//! tails.
+
+use core::fmt;
+
+use crate::crypto::PublicKey;
+use crate::hash::{Digest, SetDigest};
+use crate::ids::ReplicaId;
+use crate::power::VotingPower;
+
+/// Why a byte slice could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a field's fixed width or declared length.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// The file's 8-byte magic did not match the expected format.
+    BadMagic {
+        /// The magic the reader expected.
+        expected: [u8; 8],
+        /// The magic actually present.
+        found: [u8; 8],
+    },
+    /// The file's format version exceeds what this reader understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u32,
+        /// The newest version this reader accepts.
+        max_supported: u32,
+    },
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A declared sequence length exceeds the remaining input (a corrupt
+    /// or adversarial length prefix; rejected before any allocation).
+    LengthOverflow {
+        /// What was being decoded.
+        context: &'static str,
+        /// The declared element count.
+        declared: u64,
+    },
+    /// [`Decode::from_bytes`] decoded a value but input bytes remained.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:02x?}, found {found:02x?}")
+            }
+            CodecError::UnsupportedVersion {
+                version,
+                max_supported,
+            } => write!(
+                f,
+                "unsupported format version {version} (this reader understands up to {max_supported})"
+            ),
+            CodecError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            CodecError::LengthOverflow { context, declared } => {
+                write!(f, "declared length {declared} overflows the input while decoding {context}")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over the bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// The absolute offset of the next unread byte.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes a fixed-width array.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
+    /// Asserts the input was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] if unread bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Types with a canonical, deterministic binary encoding.
+pub trait Encode {
+    /// Appends this value's canonical encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// This value's canonical encoding as a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types decodable from the canonical encoding.
+pub trait Decode: Sized {
+    /// Decodes one value, advancing the reader past it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] describing malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a value that must span `bytes` exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode), plus [`CodecError::TrailingBytes`] when
+    /// input remains after the value.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Writes a versioned magic header: 8 magic bytes, then the `u32` format
+/// version (little-endian, like everything else).
+pub fn write_header(out: &mut Vec<u8>, magic: &[u8; 8], version: u32) {
+    out.extend_from_slice(magic);
+    version.encode(out);
+}
+
+/// Reads and validates a versioned magic header, returning the file's
+/// version (≤ `max_version`).
+///
+/// # Errors
+///
+/// [`CodecError::BadMagic`] on a foreign magic,
+/// [`CodecError::UnsupportedVersion`] on a version this reader does not
+/// understand, [`CodecError::UnexpectedEof`] on a short header.
+pub fn read_header(
+    r: &mut Reader<'_>,
+    magic: &[u8; 8],
+    max_version: u32,
+) -> Result<u32, CodecError> {
+    let found: [u8; 8] = r.take_array()?;
+    if &found != magic {
+        return Err(CodecError::BadMagic {
+            expected: *magic,
+            found,
+        });
+    }
+    let version = u32::decode(r)?;
+    if version > max_version {
+        return Err(CodecError::UnsupportedVersion {
+            version,
+            max_supported: max_version,
+        });
+    }
+    Ok(version)
+}
+
+macro_rules! int_codec {
+    ($($ty:ty),+) => {$(
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(<$ty>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )+};
+}
+
+int_codec!(u8, u16, u32, u64, i64, i128);
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::InvalidTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(CodecError::InvalidTag {
+                context: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let declared = u64::decode(r)?;
+        // Every element costs at least one input byte in this format, so a
+        // count beyond the remaining bytes is a corrupt prefix — reject it
+        // before reserving any memory for it.
+        if declared > r.remaining() as u64 {
+            return Err(CodecError::LengthOverflow {
+                context: "Vec",
+                declared,
+            });
+        }
+        let mut out = Vec::with_capacity(declared as usize);
+        for _ in 0..declared {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Encode for Digest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for Digest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Digest(r.take_array()?))
+    }
+}
+
+impl Encode for SetDigest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Call the inherent `[u8; 32]` form explicitly: on a `&SetDigest`
+        // receiver, `self.to_bytes()` would resolve to the trait's default
+        // method and recurse.
+        out.extend_from_slice(&SetDigest::to_bytes(*self));
+    }
+}
+
+impl Decode for SetDigest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SetDigest::from_bytes(r.take_array()?))
+    }
+}
+
+impl Encode for ReplicaId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u64().encode(out);
+    }
+}
+
+impl Decode for ReplicaId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ReplicaId::new(u64::decode(r)?))
+    }
+}
+
+impl Encode for VotingPower {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_units().encode(out);
+    }
+}
+
+impl Decode for VotingPower {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(VotingPower::new(u64::decode(r)?))
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PublicKey::from_digest(Digest(r.take_array()?)))
+    }
+}
+
+/// The IEEE 802.3 CRC-32 lookup table (reflected polynomial `0xEDB88320`),
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 / zlib) of `bytes` — the WAL's per-record frame
+/// check. Matches the ubiquitous `crc32(0, buf, len)`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    #[test]
+    fn integers_round_trip_little_endian() {
+        let mut out = Vec::new();
+        0xDEAD_BEEFu32.encode(&mut out);
+        assert_eq!(out, vec![0xEF, 0xBE, 0xAD, 0xDE], "little-endian layout");
+        assert_eq!(u32::from_bytes(&out).unwrap(), 0xDEAD_BEEF);
+        for v in [0u64, 1, u64::MAX, 0x0102_0304_0506_0708] {
+            assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+        for v in [i128::MIN, -1, 0, 1, i128::MAX] {
+            assert_eq!(i128::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn newtypes_and_digests_round_trip() {
+        let d = sha256(b"codec");
+        assert_eq!(Digest::from_bytes(&d.to_bytes()).unwrap(), d);
+        let mut agg = SetDigest::EMPTY;
+        agg.insert(&d);
+        agg.insert(&sha256(b"more"));
+        // SetDigest has inherent to/from_bytes over [u8; 32]; route through
+        // the traits explicitly to exercise the codec impls.
+        let agg_bytes = Encode::to_bytes(&agg);
+        assert_eq!(<SetDigest as Decode>::from_bytes(&agg_bytes).unwrap(), agg);
+        let r = ReplicaId::new(42);
+        assert_eq!(ReplicaId::from_bytes(&r.to_bytes()).unwrap(), r);
+        let p = VotingPower::new(7_000_000);
+        assert_eq!(VotingPower::from_bytes(&p.to_bytes()).unwrap(), p);
+        let k = crate::KeyPair::from_seed(9).public_key();
+        assert_eq!(PublicKey::from_bytes(&k.to_bytes()).unwrap(), k);
+    }
+
+    #[test]
+    fn containers_round_trip_and_reject_bad_tags() {
+        let v: Vec<(ReplicaId, VotingPower)> = (0..10)
+            .map(|i| (ReplicaId::new(i), VotingPower::new(i * 3)))
+            .collect();
+        assert_eq!(
+            Vec::<(ReplicaId, VotingPower)>::from_bytes(&v.to_bytes()).unwrap(),
+            v
+        );
+        let some = Some(VotingPower::new(5));
+        assert_eq!(
+            Option::<VotingPower>::from_bytes(&some.to_bytes()).unwrap(),
+            some
+        );
+        assert_eq!(Option::<VotingPower>::from_bytes(&[0]).unwrap(), None);
+        assert!(matches!(
+            Option::<VotingPower>::from_bytes(&[2]),
+            Err(CodecError::InvalidTag { tag: 2, .. })
+        ));
+        assert!(matches!(
+            bool::from_bytes(&[7]),
+            Err(CodecError::InvalidTag { tag: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn length_prefix_is_bounds_checked_before_allocation() {
+        // A 2^60 element count over a 9-byte input must be rejected as a
+        // corrupt prefix, not attempted as an allocation.
+        let mut bytes = (1u64 << 60).to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_and_truncated_inputs_are_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0xFF);
+        assert_eq!(
+            u32::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+        assert!(matches!(
+            u64::from_bytes(&[1, 2, 3]),
+            Err(CodecError::UnexpectedEof { needed: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn headers_validate_magic_and_version() {
+        const MAGIC: [u8; 8] = *b"FITESTv0";
+        let mut out = Vec::new();
+        write_header(&mut out, &MAGIC, 3);
+        let mut r = Reader::new(&out);
+        assert_eq!(read_header(&mut r, &MAGIC, 3).unwrap(), 3);
+        assert_eq!(r.remaining(), 0);
+
+        let mut r = Reader::new(&out);
+        assert!(matches!(
+            read_header(&mut r, b"OTHERFMT", 3),
+            Err(CodecError::BadMagic { .. })
+        ));
+        let mut r = Reader::new(&out);
+        assert_eq!(
+            read_header(&mut r, &MAGIC, 2),
+            Err(CodecError::UnsupportedVersion {
+                version: 3,
+                max_supported: 2
+            })
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value and a couple of classics.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = sha256(b"frame").to_bytes();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -37,6 +37,13 @@ impl PublicKey {
     pub const fn as_bytes(&self) -> &[u8; 32] {
         self.0.as_bytes()
     }
+
+    /// Reconstructs a key from its digest form — the codec's decode path
+    /// (`crate::codec`). Crate-private: user code obtains keys from
+    /// [`KeyPair::public_key`] only.
+    pub(crate) const fn from_digest(digest: Digest) -> PublicKey {
+        PublicKey(digest)
+    }
 }
 
 impl fmt::Display for PublicKey {

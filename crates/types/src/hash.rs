@@ -159,6 +159,19 @@ impl SetDigest {
         out
     }
 
+    /// Reconstructs an aggregate from its canonical
+    /// [`to_bytes`](Self::to_bytes) form — the codec/recovery path. Every
+    /// 32-byte string is a valid aggregate (the sum is modular), so this
+    /// cannot fail; whether the bytes are *correct* is the caller's
+    /// content-hash check.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> SetDigest {
+        let limbs = core::array::from_fn(|i| {
+            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte limb"))
+        });
+        SetDigest { limbs }
+    }
+
     fn limbs_of(digest: &Digest) -> [u64; 4] {
         let b = digest.as_bytes();
         core::array::from_fn(|i| {

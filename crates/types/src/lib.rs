@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod crypto;
 pub mod error;
 pub mod hash;
@@ -39,6 +40,7 @@ pub mod ids;
 pub mod power;
 pub mod time;
 
+pub use codec::{crc32, CodecError, Decode, Encode, Reader};
 pub use crypto::{KeyPair, PublicKey, Signature};
 pub use error::{ParseHexError, PowerArithmeticError};
 pub use hash::{sha256, Digest, SetDigest};

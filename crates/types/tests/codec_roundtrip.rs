@@ -1,0 +1,88 @@
+//! Property tests for the deterministic binary codec: `decode ∘ encode`
+//! is the identity for every persisted vocabulary type, encodings are
+//! canonical (re-encoding a decoded value is byte-identical), and the
+//! CRC-32 frame check rejects single-byte corruption.
+
+use fi_types::codec::{Decode, Encode};
+use fi_types::{crc32, sha256, Digest, KeyPair, ReplicaId, SetDigest, VotingPower};
+use proptest::prelude::*;
+
+fn digest_strategy() -> impl Strategy<Value = Digest> {
+    any::<u64>().prop_map(|seed| sha256(seed.to_le_bytes()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u64_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn i128_round_trips(v in any::<i128>()) {
+        prop_assert_eq!(i128::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn digest_round_trips(d in digest_strategy()) {
+        let bytes = d.to_bytes();
+        prop_assert_eq!(Digest::from_bytes(&bytes).unwrap(), d);
+        prop_assert_eq!(Digest::from_bytes(&bytes).unwrap().to_bytes(), bytes);
+    }
+
+    #[test]
+    fn set_digest_round_trips(seeds in proptest::collection::vec(any::<u64>(), 0..8)) {
+        let mut agg = SetDigest::EMPTY;
+        for seed in &seeds {
+            agg.insert(&sha256(seed.to_le_bytes()));
+        }
+        let bytes = Encode::to_bytes(&agg);
+        prop_assert_eq!(<SetDigest as Decode>::from_bytes(&bytes).unwrap(), agg);
+    }
+
+    #[test]
+    fn newtype_tuples_round_trip(
+        rows in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32)
+    ) {
+        let v: Vec<(ReplicaId, VotingPower)> = rows
+            .into_iter()
+            .map(|(r, p)| (ReplicaId::new(r), VotingPower::new(p)))
+            .collect();
+        let bytes = v.to_bytes();
+        let back = Vec::<(ReplicaId, VotingPower)>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &v);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn optional_keys_round_trip(seed in any::<u64>(), present in any::<bool>()) {
+        let v = present.then(|| KeyPair::from_seed(seed).public_key());
+        prop_assert_eq!(Option::<fi_types::PublicKey>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_never_decodes(
+        rows in proptest::collection::vec(any::<u64>(), 1..16),
+        cut in 1usize..8
+    ) {
+        let v: Vec<u64> = rows;
+        let mut bytes = v.to_bytes();
+        let cut = cut.min(bytes.len());
+        bytes.truncate(bytes.len() - cut);
+        prop_assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn crc_detects_any_single_byte_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        pos in any::<u64>(),
+        xor in 1u8..=255
+    ) {
+        let clean = crc32(&payload);
+        let mut dirty = payload.clone();
+        let pos = (pos as usize) % dirty.len();
+        dirty[pos] ^= xor;
+        prop_assert_ne!(crc32(&dirty), clean);
+    }
+}

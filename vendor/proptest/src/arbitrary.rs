@@ -22,6 +22,15 @@ macro_rules! impl_arbitrary_via_standard {
 
 impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64);
 
+// The vendored rand has no `Distribution<i128>`; compose one from two u64s.
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        let hi = u128::from(u64::arbitrary(rng));
+        let lo = u128::from(u64::arbitrary(rng));
+        ((hi << 64) | lo) as i128
+    }
+}
+
 impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
     fn arbitrary(rng: &mut TestRng) -> [T; N] {
         core::array::from_fn(|_| T::arbitrary(rng))
