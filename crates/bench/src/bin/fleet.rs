@@ -205,7 +205,7 @@ fn measure_parallel_ingest(trace: &[ChurnOp], shards: usize) -> (f64, Digest) {
         fleet.ingest_batch(batch);
     }
     let secs = start.elapsed().as_secs_f64();
-    let snap = fleet.seal_epoch();
+    let snap = fleet.try_seal_epoch().expect("bench fleet seal");
     (trace.len() as f64 / secs, snap.content_hash())
 }
 
@@ -268,13 +268,13 @@ fn measure_mix(trace: &[ChurnOp], shards: usize, reads_per_write: usize) -> (Mix
         read_ops += reads_per_batch;
         total_ops += reads_per_batch;
         if i % 16 == 15 {
-            let sealed = fleet.seal_epoch();
+            let sealed = fleet.try_seal_epoch().expect("bench fleet seal");
             *locked.write().expect("locked oracle") = sealed;
             matches_locked &=
                 handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
         }
     }
-    let sealed = fleet.seal_epoch();
+    let sealed = fleet.try_seal_epoch().expect("bench fleet seal");
     *locked.write().expect("locked oracle") = sealed;
     matches_locked &=
         handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
@@ -349,7 +349,7 @@ fn measure_seal(devices: u64, churn_permille: u32, shards: usize) -> SealRow {
             fleet.ingest_batch(batch);
         }
         // Epoch 1 is the cold-start full build on both fleets.
-        let _ = fleet.seal_epoch();
+        let _ = fleet.try_seal_epoch().expect("bench fleet seal");
     }
 
     let mut full_secs = 0.0;
@@ -359,10 +359,10 @@ fn measure_seal(devices: u64, churn_permille: u32, shards: usize) -> SealRow {
         full.ingest_batch(epoch_ops);
         differential.ingest_batch(epoch_ops);
         let t = Instant::now();
-        let snap_full = full.seal_epoch();
+        let snap_full = full.try_seal_epoch().expect("bench fleet seal");
         full_secs += t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let snap_diff = differential.seal_epoch();
+        let snap_diff = differential.try_seal_epoch().expect("bench fleet seal");
         diff_secs += t.elapsed().as_secs_f64();
         bit_identical &= snap_full.content_hash() == snap_diff.content_hash();
     }
@@ -401,13 +401,13 @@ fn measure_selection_serving(devices: u64, churn_permille: u32, k: usize) -> Sel
     for batch in wave.chunks(INGEST_BATCH) {
         fleet.ingest_batch(batch);
     }
-    let parent = fleet.seal_epoch();
+    let parent = fleet.try_seal_epoch().expect("bench fleet seal");
     let previous = parent.select_greedy(k);
     // Prime the cache with the parent epoch so the post-churn cached query
     // below exercises the warm-chained miss path through `parent_hash`.
     black_box(fleet.select_greedy_cached(k));
     fleet.ingest_batch(churn);
-    let snap = fleet.seal_epoch();
+    let snap = fleet.try_seal_epoch().expect("bench fleet seal");
 
     let cold_rate = rate_per_sec(|| {
         black_box(greedy_diverse(snap.candidates(), k));
@@ -514,7 +514,7 @@ fn measure_durability(trace: &[ChurnOp], shards: usize) -> DurabilityStats {
             fleet.ingest_batch(batch);
             ingest_secs += t.elapsed().as_secs_f64();
             if i % SEAL_EVERY == SEAL_EVERY - 1 {
-                let _ = fleet.seal_epoch();
+                let _ = fleet.try_seal_epoch().expect("bench fleet seal");
             }
         }
         trace.len() as f64 / ingest_secs
@@ -539,7 +539,7 @@ fn measure_durability(trace: &[ChurnOp], shards: usize) -> DurabilityStats {
     let (durable, _) = ShardedFleet::open_durable(shards, weights(), 1, config.clone())
         .expect("fresh durability dir");
     wal_rate = wal_rate.max(ingest_rate(&durable));
-    let sealed = durable.seal_epoch();
+    let sealed = durable.try_seal_epoch().expect("bench durable seal");
 
     let t = Instant::now();
     Checkpoint::from_snapshot(&sealed)
@@ -1008,7 +1008,7 @@ fn main() -> ExitCode {
     println!("== serving reads over the sealed snapshot ==");
     let final_fleet = ShardedFleet::new(*shard_counts.last().expect("non-empty sweep"), weights());
     final_fleet.ingest_batch(&trace);
-    let snapshot = final_fleet.seal_epoch();
+    let snapshot = final_fleet.try_seal_epoch().expect("bench fleet seal");
     let serving = measure_serving(&final_fleet, &snapshot, &oracle, k);
     println!(
         "  greedy k={k}: snapshot {:.1}/s | rebuild-per-query {:.1}/s ({:.1}x) | cached {:.0}/s ({:.0}x) | monitor query {:.0} ns | via handle {:.0} ns",

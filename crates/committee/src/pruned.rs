@@ -267,6 +267,128 @@ impl PrunedRoster {
         }
     }
 
+    /// Removes a batch of candidates by their exact `(config, power,
+    /// replica)` rows in **one merge pass per touched list** — O(R log R +
+    /// Σ touched-list lengths) — instead of the O(R · L) worst case of R
+    /// [`remove`](Self::remove) calls, each of which memmoves its list's
+    /// tail. The difference is decisive when configurations are few and
+    /// lists are long (a large fleet attests a handful of measurements):
+    /// the differential epoch seal retires every churned device through
+    /// this path. Rows that are not present are ignored, mirroring a
+    /// `remove` that returns `false`.
+    pub fn remove_batch(&mut self, rows: &[Candidate]) {
+        let mut keyed: Vec<(usize, (u64, Reverse<ReplicaId>))> = rows
+            .iter()
+            .filter(|c| !c.power().is_zero())
+            .filter_map(|c| {
+                self.configs
+                    .binary_search(&c.config())
+                    .ok()
+                    .map(|li| (li, (c.power().as_units(), Reverse(c.replica()))))
+            })
+            .collect();
+        keyed.sort_unstable();
+        let mut k = 0;
+        while k < keyed.len() {
+            let li = keyed[k].0;
+            let end = keyed[k..]
+                .iter()
+                .position(|&(l, _)| l != li)
+                .map_or(keyed.len(), |p| k + p);
+            let keys = &keyed[k..end];
+            let list = &mut self.lists[li];
+            let before = list.len();
+            // Both sides are sorted ascending by the entry key, so one
+            // forward walk pairs every to-remove key with its entry.
+            let mut ki = 0;
+            list.retain(|e| {
+                let key = entry_key(e);
+                while ki < keys.len() && keys[ki].1 < key {
+                    ki += 1;
+                }
+                if ki < keys.len() && keys[ki].1 == key {
+                    ki += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.len -= before - list.len();
+            k = end;
+        }
+    }
+
+    /// Inserts a batch of candidates in **one merge pass per touched
+    /// list** — O(A log A + Σ touched-list lengths) — instead of the
+    /// O(A · L) worst case of A [`insert`](Self::insert) calls. Missing
+    /// configuration lists are created (sparse rosters); zero-power
+    /// candidates are ignored, mirroring [`build`](Self::build).
+    pub fn insert_batch(&mut self, rows: &[Candidate]) {
+        // Create any missing configuration lists first, so list indices
+        // are stable while grouping.
+        let mut new_configs: Vec<usize> = rows
+            .iter()
+            .filter(|c| !c.power().is_zero())
+            .map(Candidate::config)
+            .filter(|config| self.configs.binary_search(config).is_err())
+            .collect();
+        new_configs.sort_unstable();
+        new_configs.dedup();
+        for &config in &new_configs {
+            let pos = self
+                .configs
+                .binary_search(&config)
+                .expect_err("deduplicated missing config");
+            self.configs.insert(pos, config);
+            self.lists.insert(pos, Vec::new());
+        }
+        let mut keyed: Vec<(usize, PrunedEntry)> = rows
+            .iter()
+            .filter(|c| !c.power().is_zero())
+            .map(|c| {
+                let li = self
+                    .configs
+                    .binary_search(&c.config())
+                    .expect("every config list exists now");
+                (
+                    li,
+                    PrunedEntry {
+                        power: c.power().as_units(),
+                        replica: c.replica(),
+                        attested: c.attested(),
+                    },
+                )
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(li, ref e)| (li, entry_key(e)));
+        self.len += keyed.len();
+        let mut k = 0;
+        while k < keyed.len() {
+            let li = keyed[k].0;
+            let end = keyed[k..]
+                .iter()
+                .position(|&(l, _)| l != li)
+                .map_or(keyed.len(), |p| k + p);
+            let additions = &keyed[k..end];
+            let list = &mut self.lists[li];
+            let mut merged = Vec::with_capacity(list.len() + additions.len());
+            let (mut i, mut j) = (0, 0);
+            while i < list.len() || j < additions.len() {
+                let take_old = j >= additions.len()
+                    || (i < list.len() && entry_key(&list[i]) <= entry_key(&additions[j].1));
+                if take_old {
+                    merged.push(list[i]);
+                    i += 1;
+                } else {
+                    merged.push(additions[j].1);
+                    j += 1;
+                }
+            }
+            *list = merged;
+            k = end;
+        }
+    }
+
     /// Splices configuration *slots* of a dense roster (one whose
     /// configuration values are list positions, as built by
     /// [`from_dense`](Self::from_dense)): drops the lists at `removals`
@@ -799,5 +921,94 @@ mod tests {
         let dense = PrunedRoster::from_dense(3, &[]);
         assert_eq!(dense.num_configs(), 3);
         assert!(dense.select(5).is_empty());
+    }
+
+    #[test]
+    fn remove_batch_equals_one_by_one_removes() {
+        let candidates = pool(120, 5);
+        // Every third candidate departs, plus rows that were never
+        // present (a zero-power row and an unknown config) — both must be
+        // ignored exactly as `remove` ignores them.
+        let mut departing: Vec<Candidate> = candidates.iter().copied().step_by(3).collect();
+        departing.push(Candidate::new(
+            ReplicaId::new(999),
+            VotingPower::ZERO,
+            0,
+            true,
+        ));
+        departing.push(Candidate::new(
+            ReplicaId::new(998),
+            VotingPower::new(7),
+            4_000,
+            true,
+        ));
+        let mut batched = PrunedRoster::build(&candidates);
+        batched.remove_batch(&departing);
+        let mut serial = PrunedRoster::build(&candidates);
+        for c in &departing {
+            serial.remove(c);
+        }
+        assert_eq!(batched, serial);
+        assert_eq!(batched.len(), serial.len());
+        assert_eq!(batched.select(9).members(), serial.select(9).members());
+    }
+
+    #[test]
+    fn insert_batch_equals_one_by_one_inserts() {
+        let base = pool(80, 5);
+        // Arrivals include rows for existing configs, a brand-new config
+        // (list creation), and a zero-power row (ignored).
+        let mut arriving = pool(40, 9)
+            .into_iter()
+            .map(|c| {
+                Candidate::new(
+                    ReplicaId::new(c.replica().as_u64() + 500),
+                    c.power(),
+                    c.config(),
+                    c.attested(),
+                )
+            })
+            .collect::<Vec<_>>();
+        arriving.push(Candidate::new(
+            ReplicaId::new(997),
+            VotingPower::ZERO,
+            2,
+            false,
+        ));
+        let mut batched = PrunedRoster::build(&base);
+        batched.insert_batch(&arriving);
+        let mut serial = PrunedRoster::build(&base);
+        for c in &arriving {
+            serial.insert(c);
+        }
+        assert_eq!(batched, serial);
+        assert_eq!(batched.len(), serial.len());
+        assert_eq!(batched.select(9).members(), serial.select(9).members());
+    }
+
+    #[test]
+    fn batch_churn_matches_full_rebuild() {
+        let candidates = pool(150, 6);
+        let mut roster = PrunedRoster::build(&candidates);
+        let departing: Vec<Candidate> = candidates.iter().copied().step_by(4).collect();
+        let arriving: Vec<Candidate> = (300..340u64)
+            .map(|i| {
+                Candidate::new(
+                    ReplicaId::new(i),
+                    VotingPower::new(1 + (i * 11) % 211),
+                    (i as usize) % 6,
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        roster.remove_batch(&departing);
+        roster.insert_batch(&arriving);
+        let survivors: Vec<Candidate> = candidates
+            .iter()
+            .filter(|c| !departing.iter().any(|d| d.replica() == c.replica()))
+            .chain(arriving.iter())
+            .copied()
+            .collect();
+        assert_eq!(roster, PrunedRoster::build(&survivors));
     }
 }

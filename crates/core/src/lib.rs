@@ -30,7 +30,11 @@
 //! the attestation→selection pipeline concurrently at fleet scale
 //! ([`DiversityReport::from_snapshot`] and
 //! [`Recommender::plan_for_snapshot`] are its monitoring/management
-//! read paths).
+//! read paths). [`fi_serve`] fronts that fleet with a backpressured
+//! request pipeline — bounded ingress, edge coalescing, per-shard
+//! mailbox workers, watermark admission control — plus the
+//! deterministic simnet load scenarios that prove the pipeline
+//! semantically invisible at million-device scale.
 //!
 //! ## Quickstart
 //!
@@ -90,6 +94,7 @@ pub use fi_entropy;
 pub use fi_fleet;
 pub use fi_nakamoto;
 pub use fi_scenarios;
+pub use fi_serve;
 pub use fi_simnet;
 pub use fi_types;
 

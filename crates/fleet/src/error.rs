@@ -31,6 +31,45 @@ impl fmt::Display for FleetConfigError {
 
 impl std::error::Error for FleetConfigError {}
 
+/// Why a churn batch could not be ingested.
+///
+/// Returned by [`ShardedFleet::try_ingest_batch`](crate::ShardedFleet::try_ingest_batch)
+/// and the serving hooks. A failed ingest is **clean**: no shard observed
+/// any op from the batch, the batch gate is released un-poisoned, and
+/// reads and seals keep working. Callers retry once the underlying fault
+/// (full disk, missing directory…) is repaired.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The write-ahead churn log could not persist the batch. The batch
+    /// was not applied to any shard — durability is decided before the
+    /// in-memory state moves.
+    WalAppend(WalError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::WalAppend(e) => {
+                write!(f, "churn batch rejected before apply: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::WalAppend(e) => Some(e),
+        }
+    }
+}
+
+impl From<WalError> for IngestError {
+    fn from(e: WalError) -> Self {
+        IngestError::WalAppend(e)
+    }
+}
+
 /// Why an epoch seal failed.
 ///
 /// Returned by [`ShardedFleet::try_seal_epoch`](crate::ShardedFleet::try_seal_epoch).
@@ -335,6 +374,7 @@ mod tests {
     fn implements_std_error_with_message() {
         fn check<E: std::error::Error + Send + Sync + 'static>() {}
         check::<FleetConfigError>();
+        check::<IngestError>();
         check::<SealError>();
         check::<WalError>();
         check::<CheckpointError>();

@@ -42,7 +42,7 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use fi_attest::{AttestedRegistry, ChurnDelta, ChurnOp, RegisteredDevice, TwoTierWeights};
@@ -50,7 +50,7 @@ use fi_types::{Digest, ReplicaId, VotingPower};
 
 use crate::cache::SelectionCache;
 use crate::checkpoint::{self, Checkpoint};
-use crate::error::{FleetConfigError, SealError};
+use crate::error::{FleetConfigError, IngestError, SealError};
 use crate::publish::{SnapshotCell, SnapshotHandle};
 use crate::snapshot::EpochSnapshot;
 use crate::wal::{ChurnLog, WalRecord};
@@ -146,6 +146,13 @@ pub struct ShardedFleet {
     /// a full rebuild from the authoritative shard state regardless of the
     /// cadence.
     force_reanchor: AtomicBool,
+    /// Running registered-device total, maintained with **one** atomic add
+    /// of the batch's net roster delta after the batch has fully applied
+    /// (still inside its gate hold). Readers therefore only ever observe
+    /// batch-boundary values — the monitoring read stays batch-atomic
+    /// without taking the gate exclusively. Signed because a batch's net
+    /// effect can be negative (deregistrations).
+    device_total: AtomicI64,
 }
 
 /// A durable fleet's write-ahead state: the open churn log and the
@@ -290,6 +297,7 @@ impl ShardedFleet {
             selection_cache: SelectionCache::default(),
             durability: None,
             force_reanchor: AtomicBool::new(false),
+            device_total: AtomicI64::new(0),
         }
     }
 
@@ -317,24 +325,23 @@ impl ShardedFleet {
             let _ = lock_recover(shard).take_delta();
         }
         self.epoch.store(epoch, Ordering::Relaxed);
+        self.device_total
+            .store(snapshot.device_count() as i64, Ordering::Relaxed);
         self.current.publish(&snapshot);
         lock_recover(&self.publish_state).published = epoch;
     }
 
     /// Appends one record to the write-ahead log of a durable fleet.
     ///
-    /// # Panics
-    ///
-    /// Panics on a log I/O failure: the caller already applied (or is
-    /// about to apply) the batch in memory, so continuing would silently
-    /// break the durability contract. An ingest path that outlives its
-    /// log has nothing safe to do.
-    fn wal_append(&self, record: &WalRecord) {
+    /// Called *before* the record's batch touches any shard, so an `Err`
+    /// means the batch can be rejected cleanly: durability is decided
+    /// first, and the in-memory state only moves once the log accepted
+    /// the bytes. No-op on in-memory fleets.
+    fn wal_append(&self, record: &WalRecord) -> Result<(), IngestError> {
         if let Some(dur) = &self.durability {
-            lock_recover(&dur.log)
-                .append(record)
-                .expect("write-ahead churn log append failed; durability contract broken");
+            lock_recover(&dur.log).append(record)?;
         }
+        Ok(())
     }
 
     /// Number of registry shards.
@@ -376,7 +383,32 @@ impl ShardedFleet {
     /// only order the end state depends on. The whole batch is atomic with
     /// respect to [`seal_epoch`](Self::seal_epoch): a concurrent seal
     /// observes either none or all of it.
+    ///
+    /// # Panics
+    ///
+    /// Infallible on in-memory fleets. On a durable fleet a write-ahead
+    /// log failure panics; serving paths use
+    /// [`try_ingest_batch`](Self::try_ingest_batch) and get the typed
+    /// [`IngestError`] instead.
     pub fn ingest_batch(&self, ops: &[ChurnOp]) {
+        self.try_ingest_batch(ops)
+            .expect("write-ahead churn log append failed; durability contract broken");
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch), but a batch the durability
+    /// layer cannot persist comes back as [`IngestError::WalAppend`]
+    /// instead of a panic.
+    ///
+    /// The failure is **clean**: the batch is framed into the log *before*
+    /// it lands on any shard, so on `Err` no shard observed any op, the
+    /// batch gate is released un-poisoned, and reads and seals keep
+    /// working. The caller retries once the disk fault is repaired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::WalAppend`] when the write-ahead log could
+    /// not persist the batch (durable fleets only).
+    pub fn try_ingest_batch(&self, ops: &[ChurnOp]) -> Result<(), IngestError> {
         // The gate guards no data (`()`): recover from poisoning rather
         // than letting one panicked holder refuse every future batch.
         let _gate = self
@@ -388,75 +420,182 @@ impl ShardedFleet {
         // marker (written gate-exclusive) partitions the log into epochs
         // exactly as the shards observed them.
         if !ops.is_empty() {
-            self.wal_append(&WalRecord::Batch(ops.to_vec()));
+            self.wal_append(&WalRecord::Batch(ops.to_vec()))?;
         }
         if self.shards.len() == 1 {
-            self.shards[0]
+            let mut shard = self.shards[0]
                 .lock()
-                .expect("no ingest worker panicked holding a shard lock")
-                .apply_batch(ops);
-            return;
+                .expect("no ingest worker panicked holding a shard lock");
+            let before = shard.len() as i64;
+            shard.apply_batch(ops);
+            let delta = shard.len() as i64 - before;
+            drop(shard);
+            self.device_total.fetch_add(delta, Ordering::Relaxed);
+            return Ok(());
         }
-        let mut per_shard: Vec<Vec<ChurnOp>> = vec![Vec::new(); self.shards.len()];
-        for op in ops {
-            per_shard[self.shard_of(op.replica())].push(*op);
-        }
+        let per_shard = self.split_by_shard(ops);
+        // Each worker measures its shard's net roster change; the sum is
+        // folded into the fleet counter as ONE atomic add after the whole
+        // batch applied (and before the gate is released), so monitoring
+        // reads only ever see batch-boundary counts.
+        let batch_delta = AtomicI64::new(0);
         std::thread::scope(|scope| {
             for (shard, shard_ops) in self.shards.iter().zip(&per_shard) {
                 if shard_ops.is_empty() {
                     continue;
                 }
+                let batch_delta = &batch_delta;
                 scope.spawn(move || {
-                    shard
+                    let mut guard = shard
                         .lock()
-                        .expect("no ingest worker panicked holding a shard lock")
-                        .apply_batch(shard_ops);
+                        .expect("no ingest worker panicked holding a shard lock");
+                    let before = guard.len() as i64;
+                    guard.apply_batch(shard_ops);
+                    let delta = guard.len() as i64 - before;
+                    drop(guard);
+                    batch_delta.fetch_add(delta, Ordering::Relaxed);
                 });
             }
         });
+        self.device_total
+            .fetch_add(batch_delta.into_inner(), Ordering::Relaxed);
+        Ok(())
     }
 
     /// Ingests one churn batch on the calling thread only (no worker
     /// fan-out), still through the shard structure and still atomic with
     /// respect to the epoch cut. The perf harness uses this as the
     /// like-for-like single-thread baseline.
+    ///
+    /// # Panics
+    ///
+    /// As [`ingest_batch`](Self::ingest_batch): only on a durable fleet
+    /// whose log fails; [`try_ingest_batch_serial`](Self::try_ingest_batch_serial)
+    /// is the typed-error form.
     pub fn ingest_batch_serial(&self, ops: &[ChurnOp]) {
+        self.try_ingest_batch_serial(ops)
+            .expect("write-ahead churn log append failed; durability contract broken");
+    }
+
+    /// [`ingest_batch_serial`](Self::ingest_batch_serial) with the typed
+    /// [`IngestError`] instead of a panic on log failure; same clean-
+    /// rejection contract as [`try_ingest_batch`](Self::try_ingest_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::WalAppend`] when the write-ahead log could
+    /// not persist the batch (durable fleets only).
+    pub fn try_ingest_batch_serial(&self, ops: &[ChurnOp]) -> Result<(), IngestError> {
         let _gate = self
             .batch_gate
             .read()
             .unwrap_or_else(PoisonError::into_inner);
         if !ops.is_empty() {
-            self.wal_append(&WalRecord::Batch(ops.to_vec()));
+            self.wal_append(&WalRecord::Batch(ops.to_vec()))?;
         }
+        let mut batch_delta = 0i64;
         for op in ops {
-            self.shards[self.shard_of(op.replica())]
+            let mut shard = self.shards[self.shard_of(op.replica())]
                 .lock()
-                .expect("no ingest worker panicked holding a shard lock")
-                .apply(op);
+                .expect("no ingest worker panicked holding a shard lock");
+            let before = shard.len() as i64;
+            shard.apply(op);
+            batch_delta += shard.len() as i64 - before;
         }
+        self.device_total.fetch_add(batch_delta, Ordering::Relaxed);
+        Ok(())
     }
 
-    /// Number of registered devices across all shards, batch-atomic: the
-    /// sweep takes the batch gate exclusively, so an in-flight multi-shard
-    /// batch is counted either fully or not at all. (Taking the gate in
-    /// shared mode would not fix the tear — ingest also holds it shared,
-    /// and two shared holders run concurrently; only the exclusive side
-    /// excludes in-flight batches.) The shards themselves are then locked
-    /// one at a time, which is consistent because no batch can be mid-way.
+    /// Splits `ops` into per-shard sub-batches by [`shard_of`](Self::shard_of),
+    /// preserving per-device op order (all of one device's ops land on one
+    /// shard, in their original relative order). The serving layer uses
+    /// this to route coalesced flushes into per-shard mailboxes; the
+    /// returned vector always has exactly [`shard_count`](Self::shard_count)
+    /// entries.
+    #[must_use]
+    pub fn split_by_shard(&self, ops: &[ChurnOp]) -> Vec<Vec<ChurnOp>> {
+        let mut per_shard: Vec<Vec<ChurnOp>> = vec![Vec::new(); self.shards.len()];
+        for op in ops {
+            per_shard[self.shard_of(op.replica())].push(*op);
+        }
+        per_shard
+    }
+
+    /// Serving hook: frames one (already coalesced) batch into the
+    /// write-ahead log without touching any shard. No-op `Ok` on
+    /// in-memory fleets and for empty batches.
+    ///
+    /// Together with [`apply_shard_batch`](Self::apply_shard_batch) this
+    /// decomposes [`try_ingest_batch`](Self::try_ingest_batch) for
+    /// serving layers that apply sub-batches from per-shard worker
+    /// threads instead of a fan-out-per-batch. **Contract:** the caller
+    /// must guarantee no epoch cut happens between a batch's `log_batch`
+    /// and the completion of its last `apply_shard_batch` — `fi-serve`
+    /// does this by draining in-flight flushes before driving a seal —
+    /// otherwise the log's epoch partition and the shards' observed
+    /// partition disagree and recovery replay will refuse the hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::WalAppend`] when the log rejects the bytes;
+    /// nothing was applied, and the caller must **not** enqueue the
+    /// batch's sub-batches.
+    pub fn log_batch(&self, ops: &[ChurnOp]) -> Result<(), IngestError> {
+        let _gate = self
+            .batch_gate
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !ops.is_empty() {
+            self.wal_append(&WalRecord::Batch(ops.to_vec()))?;
+        }
+        Ok(())
+    }
+
+    /// Serving hook: applies one shard's sub-batch (as produced by
+    /// [`split_by_shard`](Self::split_by_shard)) under a shared gate hold.
+    /// The counterpart of [`log_batch`](Self::log_batch); see there for
+    /// the cut-ordering contract. The device counter moves once per
+    /// sub-batch, so monitoring counts observed mid-flush are sub-batch
+    /// granular (whole-batch granularity is restored at the serving
+    /// layer's drain barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range. Debug builds also assert every
+    /// op is routed to its owning shard.
+    pub fn apply_shard_batch(&self, shard: usize, ops: &[ChurnOp]) {
+        debug_assert!(ops.iter().all(|op| self.shard_of(op.replica()) == shard));
+        let _gate = self
+            .batch_gate
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.shards[shard]
+            .lock()
+            .expect("no ingest worker panicked holding a shard lock");
+        let before = guard.len() as i64;
+        guard.apply_batch(ops);
+        let delta = guard.len() as i64 - before;
+        drop(guard);
+        self.device_total.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Number of registered devices across all shards, batch-atomic and
+    /// non-blocking for ingest: the count is a fleet-level counter updated
+    /// with one atomic add per fully-applied batch, so this read never
+    /// observes a half-applied multi-shard batch — and it takes the batch
+    /// gate **shared**, so concurrent ingest workers (also shared holders)
+    /// are never stalled by monitoring traffic. (An earlier revision took
+    /// the gate exclusively and swept the shard locks, which made every
+    /// monitoring read a fleet-wide ingest stall; the per-batch counter is
+    /// what makes the shared hold sufficient, since two shared holders run
+    /// concurrently and a lock sweep alone could tear mid-batch.)
     #[must_use]
     pub fn device_count(&self) -> usize {
         let _gate = self
             .batch_gate
-            .write()
+            .read()
             .unwrap_or_else(PoisonError::into_inner);
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("no ingest worker panicked holding a shard lock")
-                    .len()
-            })
-            .sum()
+        self.device_total.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// The write→read barrier: waits for in-flight batches, takes one
@@ -478,6 +617,19 @@ impl ShardedFleet {
     /// strict epoch order: `current` never moves backwards under concurrent
     /// sealers (asserted), and each differential sealer patches exactly its
     /// predecessor's published snapshot.
+    ///
+    /// **Test-only convenience.** This wrapper turns every [`SealError`]
+    /// back into a panic, undoing the rollback story
+    /// [`try_seal_epoch`](Self::try_seal_epoch) provides (a rejected seal
+    /// rolls the epoch back and the fleet keeps serving). It exists so
+    /// unit tests and doc examples can seal without `Result` plumbing;
+    /// production callers — the bench harness, the `fi-serve` seal
+    /// driver, recovery replay — use `try_seal_epoch` and handle the
+    /// typed error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SealError`].
     pub fn seal_epoch(&self) -> Arc<EpochSnapshot> {
         self.try_seal_epoch().unwrap_or_else(|e| panic!("{e}"))
     }

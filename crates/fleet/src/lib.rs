@@ -86,7 +86,9 @@ pub mod wal;
 
 pub use cache::{CacheStats, SelectionCache, SelectionPolicy};
 pub use checkpoint::Checkpoint;
-pub use error::{CheckpointError, FleetConfigError, RecoveryError, SealError, WalError};
+pub use error::{
+    CheckpointError, FleetConfigError, IngestError, RecoveryError, SealError, WalError,
+};
 pub use fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
 pub use publish::{SnapshotCell, SnapshotHandle};
 pub use recover::{DurabilityConfig, RecoveryReport};
@@ -102,7 +104,9 @@ pub use fi_attest::{ChurnDelta, ChurnOp};
 pub mod prelude {
     pub use crate::cache::{CacheStats, SelectionCache, SelectionPolicy};
     pub use crate::checkpoint::Checkpoint;
-    pub use crate::error::{CheckpointError, FleetConfigError, RecoveryError, SealError, WalError};
+    pub use crate::error::{
+        CheckpointError, FleetConfigError, IngestError, RecoveryError, SealError, WalError,
+    };
     pub use crate::fleet::{ShardedFleet, DEFAULT_REANCHOR_INTERVAL};
     pub use crate::publish::{SnapshotCell, SnapshotHandle};
     pub use crate::recover::{DurabilityConfig, RecoveryReport};

@@ -450,10 +450,15 @@ impl EpochSnapshot {
         //    unchanged candidates only remap their config through
         //    `slot_map`; touched devices binary-search the patched buckets.
         //    The pruned selection index rides along in O(churn): departed
-        //    rows are removed here while it still has the *old* slot
-        //    layout; arrivals (which carry new slot positions) are staged
-        //    and inserted after the slot splice below.
+        //    rows are staged during the walk and removed in one batch
+        //    merge while the index still has the *old* slot layout;
+        //    arrivals (which carry new slot positions) are staged and
+        //    batch-inserted after the slot splice below. The batch forms
+        //    matter: per-row removes/inserts each memmove their list's
+        //    tail, which at large fleets with few distinct measurements
+        //    made the "O(churn)" seal quadratic in practice.
         let mut pruned = self.pruned.clone();
+        let mut departed: Vec<Candidate> = Vec::with_capacity(roster.len());
         let mut arrivals: Vec<Candidate> = Vec::with_capacity(roster.len());
         let mut churned: Vec<ReplicaId> = Vec::with_capacity(roster.len());
         let opaque_slot = buckets.len();
@@ -508,7 +513,7 @@ impl EpochSnapshot {
                 // (a deregister of a never-registered replica).
                 if di < self.devices.len() && self.devices[di].replica == replica {
                     device_agg.remove(&device_row_digest(&self.devices[di]));
-                    pruned.remove(&self.candidates[di]);
+                    departed.push(self.candidates[di]);
                     di += 1;
                 }
                 rj += 1;
@@ -519,10 +524,9 @@ impl EpochSnapshot {
         // accumulator's (same removal/insertion positions), then land the
         // staged arrivals at their new-layout configurations.
         let insertion_slots: Vec<usize> = insertions.iter().map(|&(slot, _)| slot).collect();
+        pruned.remove_batch(&departed);
         pruned.splice_dense_slots(&removals, &insertion_slots);
-        for c in &arrivals {
-            pruned.insert(c);
-        }
+        pruned.insert_batch(&arrivals);
         debug_assert_eq!(
             pruned,
             PrunedRoster::from_dense(buckets.len() + 1, &candidates),

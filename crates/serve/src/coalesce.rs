@@ -1,0 +1,154 @@
+//! Edge batching: collapse same-device churn before it reaches the shards.
+//!
+//! A device that flaps (re-attests, drops to unattested, re-attests again)
+//! within one flush window costs the fleet only its **final** op: every
+//! [`ChurnOp`] fully determines the device's post-state, so replacing an
+//! earlier op for the same device with a later one — *in the earlier op's
+//! position* — leaves the registry's end state untouched while shrinking
+//! the batch. Keeping the first-arrival position (instead of re-appending)
+//! makes the output order a pure function of the input order, which the
+//! serving layer's determinism gate relies on.
+//!
+//! The coalescer is deliberately a plain value type (no locks, no clock):
+//! the differential tests rebuild the exact flush stream a server produced
+//! by re-running the same admitted requests through a fresh `Coalescer`.
+
+use std::collections::HashMap;
+
+use fi_attest::ChurnOp;
+
+/// Accumulates churn ops between flushes, keeping only the newest op per
+/// device. See the module docs for the ordering contract.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    /// Pending ops, one slot per device, in first-arrival order.
+    ops: Vec<ChurnOp>,
+    /// Device id → slot in `ops`.
+    slots: HashMap<u64, usize>,
+    /// Ops absorbed (collapsed into an existing slot) since creation.
+    absorbed: u64,
+}
+
+impl Coalescer {
+    /// An empty coalescer.
+    #[must_use]
+    pub fn new() -> Self {
+        Coalescer::default()
+    }
+
+    /// Adds one op; returns `true` if it collapsed into an existing
+    /// same-device slot (the window absorbed it) rather than growing the
+    /// pending batch.
+    pub fn push(&mut self, op: ChurnOp) -> bool {
+        let key = op.replica().as_u64();
+        match self.slots.get(&key) {
+            Some(&slot) => {
+                self.ops[slot] = op;
+                self.absorbed += 1;
+                true
+            }
+            None => {
+                self.slots.insert(key, self.ops.len());
+                self.ops.push(op);
+                false
+            }
+        }
+    }
+
+    /// Adds every op of a request in order.
+    pub fn extend<I: IntoIterator<Item = ChurnOp>>(&mut self, ops: I) {
+        for op in ops {
+            self.push(op);
+        }
+    }
+
+    /// Pending (post-coalescing) ops in the current window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the current window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total ops the coalescer has absorbed (collapsed away) so far.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Drains the window: returns the coalesced batch (first-arrival
+    /// order) and resets for the next window.
+    pub fn take(&mut self) -> Vec<ChurnOp> {
+        self.slots.clear();
+        std::mem::take(&mut self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_types::{sha256, ReplicaId, VotingPower};
+
+    fn attest(id: u64, tag: u64) -> ChurnOp {
+        ChurnOp::attest(
+            ReplicaId::new(id),
+            sha256(format!("m-{tag}").as_bytes()),
+            VotingPower::new(10 + tag),
+        )
+    }
+
+    #[test]
+    fn last_op_wins_in_first_arrival_position() {
+        let mut c = Coalescer::new();
+        assert!(!c.push(attest(1, 0)));
+        assert!(!c.push(attest(2, 0)));
+        assert!(c.push(attest(1, 9)));
+        assert!(c.push(ChurnOp::Deregister {
+            replica: ReplicaId::new(2),
+        }));
+        let batch = c.take();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], attest(1, 9));
+        assert!(matches!(batch[1], ChurnOp::Deregister { .. }));
+        assert_eq!(c.absorbed(), 2);
+    }
+
+    #[test]
+    fn take_resets_the_window() {
+        let mut c = Coalescer::new();
+        c.push(attest(5, 0));
+        assert_eq!(c.take().len(), 1);
+        assert!(c.is_empty());
+        // Same device in a *new* window occupies a fresh slot.
+        assert!(!c.push(attest(5, 1)));
+        assert_eq!(c.take(), vec![attest(5, 1)]);
+    }
+
+    #[test]
+    fn coalesced_batch_preserves_end_state() {
+        use fi_attest::{AttestedRegistry, TwoTierWeights};
+        let raw: Vec<ChurnOp> = (0..40)
+            .map(|i| attest(i % 7, i))
+            .chain((0..3).map(|i| ChurnOp::Deregister {
+                replica: ReplicaId::new(i % 7),
+            }))
+            .collect();
+        let mut c = Coalescer::new();
+        c.extend(raw.iter().copied());
+        let coalesced = c.take();
+        assert!(coalesced.len() <= 7);
+
+        let mut full = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        full.apply_batch(&raw);
+        let mut collapsed = AttestedRegistry::new(TwoTierWeights::new(1.0, 0.5));
+        collapsed.apply_batch(&coalesced);
+        assert_eq!(full.len(), collapsed.len());
+        let full_rows: Vec<_> = full.bucket_rows().collect();
+        let collapsed_rows: Vec<_> = collapsed.bucket_rows().collect();
+        assert_eq!(full_rows, collapsed_rows);
+    }
+}

@@ -59,6 +59,7 @@ pub mod latency;
 pub mod network;
 pub mod node;
 pub mod partition;
+pub mod population;
 pub mod trace;
 
 pub use engine::Simulation;
@@ -67,4 +68,5 @@ pub use latency::LatencyModel;
 pub use network::NetworkConfig;
 pub use node::{Context, Node, NodeId};
 pub use partition::Partition;
+pub use population::{ClientPopulation, PopulationConfig, TickTraffic};
 pub use trace::TraceStats;
