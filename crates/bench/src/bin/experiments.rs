@@ -18,6 +18,7 @@
 //!   recovery    E11: proactive-recovery sweep
 //!   all         everything above (default)
 //! ```
+#![forbid(unsafe_code)]
 
 use std::env;
 use std::process::ExitCode;

@@ -49,11 +49,12 @@
 //! cargo run --release -p fi-bench --bin fleet -- --smoke   # reduced n, shards {1, 4} (CI)
 //! cargo run --release -p fi-bench --bin fleet -- --shards 4 # single shard count
 //! ```
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 use fi_attest::{AttestedRegistry, ChurnOp, RegisteredDevice, TwoTierWeights};
@@ -269,15 +270,21 @@ fn measure_mix(trace: &[ChurnOp], shards: usize, reads_per_write: usize) -> (Mix
         total_ops += reads_per_batch;
         if i % 16 == 15 {
             let sealed = fleet.try_seal_epoch().expect("bench fleet seal");
-            *locked.write().expect("locked oracle") = sealed;
-            matches_locked &=
-                handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
+            *locked.write().unwrap_or_else(PoisonError::into_inner) = sealed;
+            matches_locked &= handle.get().content_hash()
+                == locked
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .content_hash();
         }
     }
     let sealed = fleet.try_seal_epoch().expect("bench fleet seal");
-    *locked.write().expect("locked oracle") = sealed;
-    matches_locked &=
-        handle.get().content_hash() == locked.read().expect("locked oracle").content_hash();
+    *locked.write().unwrap_or_else(PoisonError::into_inner) = sealed;
+    matches_locked &= handle.get().content_hash()
+        == locked
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .content_hash();
     let row = MixedRow {
         shards,
         ops_per_sec: total_ops as f64 / start.elapsed().as_secs_f64(),

@@ -17,6 +17,7 @@
 //! Exits non-zero if the incremental greedy's selection ever diverges from
 //! the naive oracle, so CI publishing the artifact doubles as an
 //! equivalence gate.
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::hint::black_box;

@@ -20,6 +20,7 @@
 //! (`crates/scenarios/goldens/campaign_{smoke,full}.json`). Exits non-zero
 //! if any scenario's observed verdict contradicts the grid's expectation —
 //! a behavioral regression in one of the substrates.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 

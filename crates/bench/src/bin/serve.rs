@@ -37,6 +37,7 @@
 //! cargo run --release -p fi-bench --bin serve              # full workload
 //! cargo run --release -p fi-bench --bin serve -- --smoke   # reduced n, shards {1, 4} (CI)
 //! ```
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::process::ExitCode;

@@ -179,9 +179,11 @@ impl SelectionCache {
         let policy = SelectionPolicy::Greedy;
         let hash = snapshot.content_hash();
         if let Some(found) = self.lookup(hash, k, policy, snapshot.epoch()) {
+            // relaxed: monotonic stat counter, read only by monitoring.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return found;
         }
+        // relaxed: monotonic stat counter, read only by monitoring.
         self.misses.fetch_add(1, Ordering::Relaxed);
 
         // Warm chain: the parent epoch's committee for the same key, if
@@ -193,13 +195,16 @@ impl SelectionCache {
             Some(previous) => {
                 let (committee, report) = snapshot.select_greedy_warm(k, previous.members());
                 if report.fell_back {
+                    // relaxed: monotonic stat counter (monitoring only).
                     self.cold_selections.fetch_add(1, Ordering::Relaxed);
                 } else {
+                    // relaxed: monotonic stat counter (monitoring only).
                     self.warm_starts.fetch_add(1, Ordering::Relaxed);
                 }
                 committee
             }
             None => {
+                // relaxed: monotonic stat counter (monitoring only).
                 self.cold_selections.fetch_add(1, Ordering::Relaxed);
                 snapshot.select_greedy(k)
             }
@@ -227,8 +232,12 @@ impl SelectionCache {
 
     fn stripe_of(&self, hash: Digest, k: usize) -> &Mutex<Vec<CacheEntry>> {
         let mut bytes = [0u8; 8];
+        // lint: allow(panic) a Digest is always 32 bytes; the [..8] prefix
+        // cannot be out of range.
         bytes.copy_from_slice(&hash.as_bytes()[..8]);
         let h = u64::from_le_bytes(bytes) ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // lint: allow(panic) index is reduced modulo stripes.len(), and the
+        // constructor guarantees at least one stripe.
         &self.stripes[(h as usize) % self.stripes.len()]
     }
 
@@ -281,6 +290,7 @@ impl SelectionCache {
                 .map(|(i, _)| i)
             {
                 stripe.swap_remove(oldest);
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }

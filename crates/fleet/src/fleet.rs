@@ -324,7 +324,10 @@ impl ShardedFleet {
         for shard in &self.shards {
             let _ = lock_recover(shard).take_delta();
         }
+        // relaxed: recovery runs single-threaded, before the fleet is
+        // handed to any ingest or seal thread; nothing races these stores.
         self.epoch.store(epoch, Ordering::Relaxed);
+        // relaxed: as above — recovery is pre-concurrency.
         self.device_total
             .store(snapshot.device_count() as i64, Ordering::Relaxed);
         self.current.publish(&snapshot);
@@ -392,6 +395,8 @@ impl ShardedFleet {
     /// [`IngestError`] instead.
     pub fn ingest_batch(&self, ops: &[ChurnOp]) {
         self.try_ingest_batch(ops)
+            // lint: allow(panic) documented panicking wrapper for tests and
+            // doc examples; serving paths call try_ingest_batch.
             .expect("write-ahead churn log append failed; durability contract broken");
     }
 
@@ -430,6 +435,9 @@ impl ShardedFleet {
             shard.apply_batch(ops);
             let delta = shard.len() as i64 - before;
             drop(shard);
+            // relaxed: batch-boundary monitoring counter; the batch gate
+            // (held shared here) orders it relative to seals, and readers
+            // tolerate a stale count by design.
             self.device_total.fetch_add(delta, Ordering::Relaxed);
             return Ok(());
         }
@@ -453,10 +461,14 @@ impl ShardedFleet {
                     guard.apply_batch(shard_ops);
                     let delta = guard.len() as i64 - before;
                     drop(guard);
+                    // relaxed: scoped-thread accumulator; scope join is the
+                    // ordering edge before the fold below reads it.
                     batch_delta.fetch_add(delta, Ordering::Relaxed);
                 });
             }
         });
+        // relaxed: batch-boundary monitoring counter (see above); the
+        // one add per batch happens before the gate is released.
         self.device_total
             .fetch_add(batch_delta.into_inner(), Ordering::Relaxed);
         Ok(())
@@ -474,6 +486,8 @@ impl ShardedFleet {
     /// is the typed-error form.
     pub fn ingest_batch_serial(&self, ops: &[ChurnOp]) {
         self.try_ingest_batch_serial(ops)
+            // lint: allow(panic) documented panicking wrapper for tests and
+            // doc examples; serving paths call try_ingest_batch_serial.
             .expect("write-ahead churn log append failed; durability contract broken");
     }
 
@@ -502,6 +516,7 @@ impl ShardedFleet {
             shard.apply(op);
             batch_delta += shard.len() as i64 - before;
         }
+        // relaxed: batch-boundary monitoring counter (see ingest_batch).
         self.device_total.fetch_add(batch_delta, Ordering::Relaxed);
         Ok(())
     }
@@ -516,6 +531,8 @@ impl ShardedFleet {
     pub fn split_by_shard(&self, ops: &[ChurnOp]) -> Vec<Vec<ChurnOp>> {
         let mut per_shard: Vec<Vec<ChurnOp>> = vec![Vec::new(); self.shards.len()];
         for op in ops {
+            // lint: allow(panic) shard_of maps into 0..shards.len() and
+            // per_shard was built with exactly shards.len() entries.
             per_shard[self.shard_of(op.replica())].push(*op);
         }
         per_shard
@@ -576,6 +593,7 @@ impl ShardedFleet {
         guard.apply_batch(ops);
         let delta = guard.len() as i64 - before;
         drop(guard);
+        // relaxed: batch-boundary monitoring counter (see ingest_batch).
         self.device_total.fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -595,6 +613,8 @@ impl ShardedFleet {
             .batch_gate
             .read()
             .unwrap_or_else(PoisonError::into_inner);
+        // relaxed: monitoring read of the batch-boundary counter; the
+        // shared gate hold already excludes a concurrent exclusive seal.
         self.device_total.load(Ordering::Relaxed).max(0) as usize
     }
 
@@ -631,6 +651,8 @@ impl ShardedFleet {
     ///
     /// Panics on any [`SealError`].
     pub fn seal_epoch(&self) -> Arc<EpochSnapshot> {
+        // lint: allow(panic) documented panicking wrapper for tests and doc
+        // examples; production callers use try_seal_epoch.
         self.try_seal_epoch().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -691,6 +713,8 @@ impl ShardedFleet {
                         .expect("no ingest worker panicked holding a shard lock")
                 })
                 .collect();
+            // relaxed: epoch only ever moves under seal_lock (held); the
+            // mutex, not the atomic, is the ordering edge between sealers.
             let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
             chain.armed = true;
             // Durability point: frame the cut marker after every batch of
@@ -704,8 +728,13 @@ impl ShardedFleet {
                     .append(&WalRecord::EpochCut { epoch })
                     .and_then(|()| log.sync());
                 if let Err(e) = wrote {
+                    // relaxed: rollback under the same seal_lock that
+                    // ordered the fetch_add above; nothing raced between.
                     self.epoch
                         .compare_exchange(epoch, epoch - 1, Ordering::Relaxed, Ordering::Relaxed)
+                        // lint: allow(panic) the seal lock is held: no other
+                        // sealer can have moved the epoch since our cut, so
+                        // this CAS is infallible by construction.
                         .expect("seal lock held: no concurrent epoch cut");
                     chain.disarm();
                     return Err(e.into());
@@ -713,6 +742,8 @@ impl ShardedFleet {
             }
             let full = epoch == 1
                 || (self.reanchor_interval > 0 && epoch.is_multiple_of(self.reanchor_interval))
+                // relaxed: written and consumed under seal_lock (held);
+                // the mutex provides the cross-variable ordering.
                 || self.force_reanchor.swap(false, Ordering::Relaxed);
             let work = if full {
                 let per_shard = guards
@@ -776,7 +807,26 @@ impl ShardedFleet {
                         // rebuild, and give the epoch number back if no
                         // later sealer has already cut on top — the chain
                         // then has no hole and the fleet keeps serving.
+                        //
+                        // Both writes happen back under the seal lock: the
+                        // next sealer's cut phase reads `force_reanchor`
+                        // and advances `epoch` under the same lock, and
+                        // with relaxed atomics *only the mutex* orders the
+                        // flag store against the epoch rollback. Without
+                        // it, a concurrent sealer could observe the rolled-
+                        // back epoch, miss the flag, and seal an (empty)
+                        // differential over the lost delta — serving a
+                        // wrong roster. No guard is held here (phase 1's
+                        // all died at the cut-block boundary), so the
+                        // acquisition cannot deadlock and respects the
+                        // LOCK_ORDER hierarchy.
+                        let _seal = lock_recover(&self.seal_lock);
+                        // relaxed: written and consumed under seal_lock;
+                        // the mutex provides the cross-variable ordering.
                         self.force_reanchor.store(true, Ordering::Relaxed);
+                        // relaxed: epoch moves only under seal_lock (held
+                        // here); the CAS guards against a later sealer
+                        // having cut before this error path re-took it.
                         if self
                             .epoch
                             .compare_exchange(

@@ -131,6 +131,8 @@ impl SnapshotCell {
     pub(crate) fn load_stamped(&self) -> (u64, Arc<EpochSnapshot>) {
         loop {
             let stamp = self.stamp.load(Ordering::Acquire);
+            // lint: allow(panic) `& 1` indexes the two-slot double buffer;
+            // the result is always 0 or 1.
             let snap = Arc::clone(&read_recover(&self.slots[(stamp & 1) as usize]));
             // Stamp unchanged across the clone ⇒ the clone is exactly the
             // snapshot published as `stamp`: the next write to that slot
@@ -157,13 +159,15 @@ impl SnapshotCell {
     /// Panics if `next.epoch()` does not exceed the current stamp.
     pub fn publish(&self, next: &Arc<EpochSnapshot>) {
         let epoch = next.epoch();
-        // Publishers serialise externally, so the stamp is this caller's
-        // chain predecessor; Relaxed suffices for the sanity assert.
+        // relaxed: publishers serialise externally, so the stamp is this
+        // caller's chain predecessor; the load only feeds the sanity assert.
         let stamp = self.stamp.load(Ordering::Relaxed);
         assert!(
             epoch > stamp,
             "snapshot publication moved backwards: {stamp} then {epoch}"
         );
+        // lint: allow(panic) `& 1` indexes the two-slot double buffer;
+        // the result is always 0 or 1.
         *write_recover(&self.slots[(epoch & 1) as usize]) = Arc::clone(next);
         self.stamp.store(epoch, Ordering::Release);
     }
@@ -209,6 +213,9 @@ impl<'a> SnapshotHandle<'a> {
     /// reader that cloned the `Arc` a moment before publication would —
     /// but the epochs one handle observes never decrease.
     pub fn get(&mut self) -> &Arc<EpochSnapshot> {
+        // relaxed: a stale read only delays noticing a new publication
+        // by one call; on mismatch load_stamped() re-reads with Acquire,
+        // which is where the ordering actually comes from.
         if self.cell.stamp.load(Ordering::Relaxed) != self.stamp {
             let (stamp, cached) = self.cell.load_stamped();
             self.stamp = stamp;

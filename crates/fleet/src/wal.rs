@@ -236,12 +236,15 @@ pub fn read_records(dir: impl AsRef<Path>) -> Result<ScanOutcome, WalError> {
     let mut outcome = ScanOutcome::default();
     let last = segments.len().saturating_sub(1);
     for (i, (seq, path)) in segments.iter().enumerate() {
+        // lint: allow(panic) the loop body only runs when segments is
+        // non-empty, so segments[0] exists.
         if *seq != segments[0].0 + i as u64 {
             return Err(WalError::Corrupt {
                 segment: path.clone(),
                 offset: 0,
                 detail: format!(
                     "segment sequence gap: expected {} next, found {seq}",
+                    // lint: allow(panic) same non-empty guarantee as above.
                     segments[0].0 + i as u64
                 ),
             });
@@ -291,6 +294,9 @@ fn scan_segment(
     let mut pos = HEADER_LEN as usize;
     loop {
         let start = pos as u64;
+        // lint: allow(panic) `pos` starts at HEADER_LEN (validated against
+        // the segment length) and advances by `total` only after the frame
+        // was bounds-checked, so the range start never exceeds the buffer.
         let remaining = &bytes[pos..];
         if remaining.is_empty() {
             return Ok(SegmentScan {
@@ -311,6 +317,8 @@ fn scan_segment(
         if remaining.len() < 4 {
             return torn("short frame length prefix".to_string());
         }
+        // lint: allow(panic) guarded by the `remaining.len() < 4` torn
+        // check just above; the 4-byte try_into is then infallible.
         let len = u32::from_le_bytes(remaining[..4].try_into().expect("4 bytes")) as usize;
         let total = 4 + len + 4;
         if remaining.len() < total {
@@ -319,7 +327,11 @@ fn scan_segment(
                 remaining.len().saturating_sub(FRAME_OVERHEAD as usize)
             ));
         }
+        // lint: allow(panic) guarded by the `remaining.len() < total`
+        // torn check just above (total = 4 + len + 4).
         let payload = &remaining[4..4 + len];
+        // lint: allow(panic) same bounds guarantee; the CRC slice is
+        // exactly 4 bytes, so the try_into is infallible.
         let stored_crc = u32::from_le_bytes(remaining[4 + len..total].try_into().expect("4 bytes"));
         if crc32(payload) != stored_crc {
             return torn("frame CRC mismatch".to_string());

@@ -1,0 +1,73 @@
+//! fi-lint CLI: lint the workspace, print findings, optionally write the
+//! machine-readable report, and exit non-zero when the tree is dirty.
+//!
+//! ```text
+//! fi-lint [--root <dir>] [--report <file>] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` configuration/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a value"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: fi-lint [--root <dir>] [--report <file>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p fi-lint` just works from anywhere in the tree.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let report = match fi_lint::run_lint(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("fi-lint: error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = report_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("fi-lint: error: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet || !report.is_clean() {
+        print!("{}", report.to_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fi-lint: error: {msg}");
+    eprintln!("usage: fi-lint [--root <dir>] [--report <file>] [--quiet]");
+    ExitCode::from(2)
+}

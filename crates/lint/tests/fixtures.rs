@@ -1,0 +1,131 @@
+//! Integration tests: fi-lint against the pinned fixture workspaces and
+//! against the committed workspace itself.
+//!
+//! The fixture trees under `tests/fixtures/` are miniature workspaces
+//! (root `Cargo.toml` + `LOCK_ORDER` + member crates). `dirty` trips
+//! every rule at least once; `clean` contains the same code shapes with
+//! every contract satisfied. The final test is the self-check the CI
+//! gate depends on: the committed tree must lint clean, with no stale
+//! suppressions (stale markers and stale allow entries are findings, so
+//! `is_clean()` covers both).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+use fi_lint::report::Report;
+use fi_lint::run_lint;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rule_count(report: &Report, rule: &str) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn dirty_fixture_reports_every_rule() {
+    let report = run_lint(&fixture("dirty")).expect("dirty fixture lints");
+
+    assert_eq!(report.findings.len(), 12, "report:\n{}", report.to_text());
+    assert_eq!(rule_count(&report, "hygiene"), 1);
+    assert_eq!(rule_count(&report, "panic"), 2);
+    assert_eq!(rule_count(&report, "poison"), 1);
+    assert_eq!(rule_count(&report, "lock-order"), 1);
+    assert_eq!(rule_count(&report, "determinism"), 4);
+    assert_eq!(rule_count(&report, "relaxed"), 1);
+    // Both flavours of staleness: an unused `// lint:` marker and an
+    // `[allow]` manifest entry whose needle matches nothing.
+    assert_eq!(rule_count(&report, "stale-allow"), 2);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "stale-allow" && f.file == "LOCK_ORDER"));
+
+    // The vendored member is outside the lint's jurisdiction: its
+    // blatant violations must not surface, and it is not even scanned.
+    assert_eq!(report.files_scanned, 3);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.file.starts_with("vendor/")));
+    assert_eq!(report.suppressions_used, 0);
+}
+
+#[test]
+fn dirty_fixture_findings_anchor_to_exact_lines() {
+    let report = run_lint(&fixture("dirty")).expect("dirty fixture lints");
+    let has = |file: &str, line: usize, rule: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.file == file && f.line == line && f.rule == rule)
+    };
+    assert!(has("crates/app/src/lib.rs", 11, "poison"));
+    assert!(has("crates/app/src/lib.rs", 16, "lock-order"));
+    assert!(has("crates/app/src/lib.rs", 17, "relaxed"));
+    assert!(has("crates/app/src/lib.rs", 20, "stale-allow"));
+    assert!(has("crates/app/src/serve.rs", 4, "panic"));
+    assert!(has("crates/app/src/serve.rs", 8, "panic"));
+    assert!(has("crates/app/src/hash.rs", 7, "determinism"));
+}
+
+#[test]
+fn dirty_fixture_report_is_sorted_and_json_stable() {
+    let report = run_lint(&fixture("dirty")).expect("dirty fixture lints");
+    let keys: Vec<(&str, usize, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be sorted for a stable report");
+
+    let json = report.to_json();
+    assert!(json.starts_with("{\n  \"version\": 1,"));
+    assert!(json.contains("\"files_scanned\": 3"));
+    // Byte-stable across runs: same tree, same report.
+    let again = run_lint(&fixture("dirty")).expect("dirty fixture lints");
+    assert_eq!(json, again.to_json());
+}
+
+#[test]
+fn clean_fixture_is_clean_and_uses_its_suppressions() {
+    let report = run_lint(&fixture("clean")).expect("clean fixture lints");
+    assert!(
+        report.is_clean(),
+        "unexpected findings:\n{}",
+        report.to_text()
+    );
+    assert_eq!(report.files_scanned, 3);
+    // Two `// lint: allow(panic)` markers, one `// relaxed:` comment,
+    // and one manifest `[allow]` entry — all live, none stale.
+    assert_eq!(report.suppressions_used, 4);
+}
+
+#[test]
+fn committed_workspace_is_clean() {
+    // The self-check the CI gate enforces: the tree this test ran from
+    // must carry zero findings and zero stale suppressions. If this
+    // fails, either fix the flagged code or add an audited marker /
+    // `[allow]` entry with a reason.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = run_lint(&root).expect("workspace lints");
+    assert!(
+        report.is_clean(),
+        "committed workspace has lint findings:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.files_scanned > 100,
+        "walked {}",
+        report.files_scanned
+    );
+}

@@ -1,0 +1,7 @@
+//! Clean fixture determinism module: ordered containers only.
+
+use std::collections::BTreeMap;
+
+pub fn digest(items: &BTreeMap<String, u64>) -> u64 {
+    items.values().sum()
+}

@@ -1,0 +1,23 @@
+//! Clean fixture crate root: every contract satisfied.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn recovered(state: &Mutex<u32>) -> u32 {
+    *state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn allowlisted(state: &Mutex<u32>) -> u32 {
+    *state.lock().expect("fails fast by design")
+}
+
+pub fn right_order(outer: &Mutex<u32>, inner: &Mutex<u32>) {
+    let _o = outer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _i = inner.lock().unwrap_or_else(PoisonError::into_inner);
+    // relaxed: monotonic stat counter, no dependent reads.
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,10 @@
+//! Dirty fixture determinism module: unordered containers and wall clocks.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn digest(items: &HashMap<String, u64>) -> u64 {
+    let start = Instant::now();
+    let sum: u64 = items.values().sum();
+    sum.wrapping_add(start.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,23 @@
+//! Dirty fixture crate root: missing `#![forbid(unsafe_code)]` (hygiene),
+//! plus one violation per workspace-wide rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn unrecovered(state: &Mutex<u32>) -> u32 {
+    // poison: `.lock()` without PoisonError::into_inner recovery.
+    *state.lock().expect("poisoned")
+}
+
+pub fn wrong_order(outer: &Mutex<u32>, inner: &Mutex<u32>) {
+    let _i = inner.lock().unwrap_or_else(PoisonError::into_inner);
+    let _o = outer.lock().unwrap_or_else(PoisonError::into_inner);
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+// lint: allow(panic) stale marker — the next statement never panics
+pub fn harmless() -> u32 {
+    7
+}

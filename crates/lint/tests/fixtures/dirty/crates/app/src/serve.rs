@@ -1,0 +1,9 @@
+//! Dirty fixture serving module: unmarked panic sources.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+pub fn third(xs: &[u32]) -> u32 {
+    xs[2]
+}

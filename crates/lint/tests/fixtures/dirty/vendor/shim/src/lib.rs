@@ -1,0 +1,8 @@
+//! Vendored shim: deliberately full of violations that must NOT be
+//! reported — `vendor/` members are outside the lint's jurisdiction.
+
+use std::sync::Mutex;
+
+pub fn ignored(state: &Mutex<u32>) -> u32 {
+    *state.lock().unwrap()
+}

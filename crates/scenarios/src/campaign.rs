@@ -8,7 +8,7 @@
 //! scheduling-dependent enters a report).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::report::{CampaignReport, ScenarioReport};
 use crate::run::run_scenario;
@@ -46,10 +46,17 @@ pub fn run_campaign(grid: &[Scenario], threads: usize) -> CampaignReport {
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // relaxed: pure work-stealing counter; each index is
+                // claimed exactly once and the scope join orders the
+                // resulting slot writes before the collection below.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(scenario) = grid.get(i) else { break };
                 let report = run_scenario(scenario);
-                slots.lock().expect("no worker panicked holding the lock")[i] = Some(report);
+                // A worker that panicked inside run_scenario leaves its
+                // own slot None; the other slots are single-writer, so
+                // the inherited state is coherent and the survivors keep
+                // filling the grid.
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(report);
             });
         }
     });

@@ -43,6 +43,8 @@ impl Coalescer {
         let key = op.replica().as_u64();
         match self.slots.get(&key) {
             Some(&slot) => {
+                // lint: allow(panic) `slot` came out of `self.slots`, which
+                // only ever stores indices of `self.ops` entries it created.
                 self.ops[slot] = op;
                 self.absorbed += 1;
                 true

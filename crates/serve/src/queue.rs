@@ -12,7 +12,7 @@
 //! `None`; pushers get their item back.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A bounded FIFO queue shared between threads. See the module docs for
 /// the push-policy split between admission (try) and backpressure (wait).
@@ -55,20 +55,20 @@ impl<T> Bounded<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.lock_recover().items.len()
     }
 
     /// Whether the queue is currently empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lock().items.is_empty()
+        self.lock_recover().items.is_empty()
     }
 
     /// Non-blocking push: `Err(item)` back to the caller when the queue
     /// is at capacity or closed. This is the admission-control edge — the
     /// caller turns the `Err` into a typed shed, it never waits.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut state = self.lock();
+        let mut state = self.lock_recover();
         if state.closed || state.items.len() >= self.capacity {
             return Err(item);
         }
@@ -82,12 +82,15 @@ impl<T> Bounded<T> {
     /// closed. The dispatcher uses this into the shard mailboxes, so a
     /// slow shard stalls dispatch (bounded memory) rather than dropping.
     pub fn push_wait(&self, item: T) -> Result<(), T> {
-        let mut state = self.lock();
+        let mut state = self.lock_recover();
         while !state.closed && state.items.len() >= self.capacity {
+            // A waiter inheriting a poisoned guard sees a structurally
+            // intact queue: the queue's own mutations cannot unwind
+            // mid-operation, so serving continues past a panicked user.
             state = self
                 .not_full
                 .wait(state)
-                .expect("no queue user panicked holding the queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return Err(item);
@@ -100,7 +103,7 @@ impl<T> Bounded<T> {
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.lock().items.pop_front();
+        let item = self.lock_recover().items.pop_front();
         if item.is_some() {
             self.not_full.notify_one();
         }
@@ -110,7 +113,7 @@ impl<T> Bounded<T> {
     /// Blocking pop: waits for an item; `None` once the queue is closed
     /// **and** drained — the worker-thread shutdown signal.
     pub fn pop_wait(&self) -> Option<T> {
-        let mut state = self.lock();
+        let mut state = self.lock_recover();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -123,22 +126,24 @@ impl<T> Bounded<T> {
             state = self
                 .not_empty
                 .wait(state)
-                .expect("no queue user panicked holding the queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pending items remain poppable, new pushes fail,
     /// and every waiter wakes.
     pub fn close(&self) {
-        self.lock().closed = true;
+        self.lock_recover().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
-        self.state
-            .lock()
-            .expect("no queue user panicked holding the queue lock")
+    /// Takes the state lock, recovering from poisoning: a producer or
+    /// consumer that panicked between queue calls must not take the whole
+    /// ingress path down with it, and the queue's own operations never
+    /// unwind while mutating, so the inherited state is always coherent.
+    fn lock_recover(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 

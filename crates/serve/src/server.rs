@@ -33,7 +33,7 @@
 //!   into [`Overloaded::SealLag`] sheds.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -291,21 +291,25 @@ impl FleetServer {
                     .spawn(move || {
                         while let Some(job) = mailbox.pop_wait() {
                             fleet.apply_shard_batch(shard, &job.ops);
+                            // relaxed: monotonic stat counter; the
+                            // flush tracker's AcqRel decrement below is
+                            // what orders completion.
                             counters
                                 .applied_ops
                                 .fetch_add(job.ops.len() as u64, Ordering::Relaxed);
                             if job.tracker.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 let us = job.tracker.enqueued.elapsed().as_micros() as u64;
+                                // A panicked recorder leaves a fully
+                                // pushed (or fully absent) sample; the
+                                // latency log stays coherent, so recover.
                                 job.tracker
                                     .latencies_us
                                     .lock()
-                                    .expect("no latency recorder panicked")
+                                    .unwrap_or_else(PoisonError::into_inner)
                                     .push(us);
                             }
-                            let mut inflight = barrier
-                                .0
-                                .lock()
-                                .expect("no worker panicked holding the in-flight lock");
+                            let mut inflight =
+                                barrier.0.lock().unwrap_or_else(PoisonError::into_inner);
                             *inflight -= 1;
                             drop(inflight);
                             barrier.1.notify_all();
@@ -341,6 +345,7 @@ impl FleetServer {
     /// cadence, [`Overloaded::QueueFull`] when the ingress bound is hit.
     /// Either way the request was **not** enqueued.
     pub fn submit(&self, request: Vec<ChurnOp>) -> Result<(), Overloaded> {
+        // relaxed: monotonic stat counter, read only by monitoring.
         self.counters
             .submitted_requests
             .fetch_add(1, Ordering::Relaxed);
@@ -349,6 +354,7 @@ impl FleetServer {
             let sealed = self.last_sealed_tick.load(Ordering::Relaxed);
             let lag_epochs = now.saturating_sub(sealed) / self.config.epoch_ticks;
             if lag_epochs > self.config.max_seal_lag_epochs {
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.counters.shed_seal_lag.fetch_add(1, Ordering::Relaxed);
                 return Err(Overloaded::SealLag {
                     lag_epochs,
@@ -359,10 +365,12 @@ impl FleetServer {
         let ops = request.len() as u64;
         match self.ingress.try_push(request) {
             Ok(()) => {
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.counters.admitted_ops.fetch_add(ops, Ordering::Relaxed);
                 Ok(())
             }
             Err(_) => {
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.counters
                     .shed_queue_full
                     .fetch_add(1, Ordering::Relaxed);
@@ -448,11 +456,17 @@ impl FleetServer {
     /// keeps serving, and the growing seal lag will engage the admission
     /// gate.
     pub fn tick(&self) -> Result<Option<Arc<EpochSnapshot>>, ServeError> {
+        // relaxed: the logical clock has a single writer (the driver
+        // loop calling tick()); concurrent readers only feed the advisory
+        // seal-lag heuristic, never a data dependency.
         let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.epoch_ticks == 0 || !now.is_multiple_of(self.config.epoch_ticks) {
             return Ok(None);
         }
         let snapshot = self.seal_barrier()?;
+        // relaxed: single-writer progress stamp for the seal-lag
+        // heuristic; the sealed snapshot itself is published through the
+        // fleet's publication path, not through this stamp.
         self.last_sealed_tick.store(now, Ordering::Relaxed);
         Ok(Some(snapshot))
     }
@@ -465,17 +479,21 @@ impl FleetServer {
     fn seal_barrier(&self) -> Result<Arc<EpochSnapshot>, ServeError> {
         self.pump()?;
         self.flush()?;
+        // The gate guards no data (`Mutex<()>`): recovery is trivially
+        // sound, and serving must outlive a panicked dispatcher.
         let _gate = self
             .dispatch_gate
             .lock()
-            .expect("no dispatcher panicked holding the dispatch gate");
+            .unwrap_or_else(PoisonError::into_inner);
         self.wait_applied();
         match self.fleet.try_seal_epoch() {
             Ok(snapshot) => {
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.counters.epochs_sealed.fetch_add(1, Ordering::Relaxed);
                 Ok(snapshot)
             }
             Err(e) => {
+                // relaxed: monotonic stat counter, read only by monitoring.
                 self.counters.seal_failures.fetch_add(1, Ordering::Relaxed);
                 Err(e.into())
             }
@@ -487,11 +505,14 @@ impl FleetServer {
         if ops.is_empty() {
             return Ok(());
         }
+        // The gate guards no data (`Mutex<()>`): recovery is trivially
+        // sound, and serving must outlive a panicked dispatcher.
         let _gate = self
             .dispatch_gate
             .lock()
-            .expect("no dispatcher panicked holding the dispatch gate");
+            .unwrap_or_else(PoisonError::into_inner);
         if let Err(e) = self.fleet.log_batch(&ops) {
+            // relaxed: monotonic stat counter, read only by monitoring.
             self.counters
                 .wal_rejected_flushes
                 .fetch_add(1, Ordering::Relaxed);
@@ -499,7 +520,9 @@ impl FleetServer {
         }
         let per_shard = self.fleet.split_by_shard(&ops);
         let sub_batches = per_shard.iter().filter(|s| !s.is_empty()).count();
+        // relaxed: monotonic stat counters, read only by monitoring.
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by monitoring.
         self.counters
             .flushed_ops
             .fetch_add(ops.len() as u64, Ordering::Relaxed);
@@ -513,10 +536,9 @@ impl FleetServer {
         });
         let barrier = self.barrier();
         {
-            let mut inflight = barrier
-                .0
-                .lock()
-                .expect("no worker panicked holding the in-flight lock");
+            // The barrier count is adjusted in single `+=`/`-=` steps under
+            // the guard, so an inherited poisoned count is still coherent.
+            let mut inflight = barrier.0.lock().unwrap_or_else(PoisonError::into_inner);
             *inflight += sub_batches as u64;
         }
         for (shard, shard_ops) in per_shard.into_iter().enumerate() {
@@ -527,13 +549,12 @@ impl FleetServer {
                 ops: shard_ops,
                 tracker: Arc::clone(&tracker),
             };
+            // lint: allow(panic) `shard` enumerates `split_by_shard`, whose
+            // length is the fleet's shard count == `mailboxes.len()`.
             if self.mailboxes[shard].push_wait(job).is_err() {
                 // Closed mailbox: shutdown is in progress; account the
                 // sub-batch as done so the barrier cannot hang.
-                let mut inflight = barrier
-                    .0
-                    .lock()
-                    .expect("no worker panicked holding the in-flight lock");
+                let mut inflight = barrier.0.lock().unwrap_or_else(PoisonError::into_inner);
                 *inflight -= 1;
                 drop(inflight);
                 barrier.1.notify_all();
@@ -545,15 +566,12 @@ impl FleetServer {
     /// Waits until no sub-batch is enqueued-but-unapplied.
     fn wait_applied(&self) {
         let barrier = self.barrier();
-        let mut inflight = barrier
-            .0
-            .lock()
-            .expect("no worker panicked holding the in-flight lock");
+        let mut inflight = barrier.0.lock().unwrap_or_else(PoisonError::into_inner);
         while *inflight > 0 {
             inflight = barrier
                 .1
                 .wait(inflight)
-                .expect("no worker panicked holding the in-flight lock");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -608,7 +626,7 @@ impl FleetServer {
     pub fn flush_latencies_us(&self) -> Vec<u64> {
         self.latencies_us
             .lock()
-            .expect("no latency recorder panicked")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
@@ -635,10 +653,12 @@ impl FleetServer {
         }
     }
 
-    fn lock_dispatch(&self) -> std::sync::MutexGuard<'_, DispatchState> {
-        self.dispatch
-            .lock()
-            .expect("no dispatcher panicked holding the dispatch state")
+    /// Takes the dispatch-state lock, recovering from poisoning: the
+    /// coalescer and window stamp are only ever mutated through complete
+    /// operations under the guard, so a panicked dispatcher leaves them
+    /// coherent — and the monitoring path (`stats`) must keep answering.
+    fn lock_dispatch(&self) -> MutexGuard<'_, DispatchState> {
+        self.dispatch.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn barrier(&self) -> &Arc<(Mutex<u64>, Condvar)> {
